@@ -1,0 +1,72 @@
+// Ablation A2 — what the overlap machinery buys: kernel version 3 versus
+// version 2 across problem sizes, and the effect of the DMA-engine count
+// (GTX680 with its two engines versus a hypothetical single-engine GTX680
+// versus the real single-engine Tesla C870).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fpm/trace/csv.hpp"
+#include "fpm/trace/table.hpp"
+
+using namespace fpm;
+
+namespace {
+
+double speed(const sim::HybridNode& node, std::size_t gpu, double x,
+             sim::KernelVersion v) {
+    return bench::to_gflops(x, node.gpu_kernel_time(gpu, x, v));
+}
+
+} // namespace
+
+int main() {
+    sim::HybridNode node(sim::ig_platform(), {});
+    bench::print_platform(node);
+    std::printf("Ablation A2 — overlap gain and DMA engine count\n\n");
+
+    // A hypothetical GTX680 with one DMA engine.
+    sim::NodeSpec crippled_spec = sim::ig_platform();
+    crippled_spec.gpus[1].gpu.dma_engines = 1;
+    sim::HybridNode crippled(crippled_spec, {});
+
+    trace::Table table({"x (blocks)", "GTX680 v2", "GTX680 v3", "gain %",
+                        "GTX680(1 DMA) v3", "C870 v2", "C870 v3", "gain %"});
+    trace::CsvWriter csv("ablation_overlap.csv");
+    csv.write_row(std::vector<std::string>{"x", "gtx_v2", "gtx_v3",
+                                           "gtx_1dma_v3", "c870_v2", "c870_v3"});
+
+    double gtx_gain_at_3600 = 0.0;
+    double crippled_v3_at_3600 = 0.0;
+    double full_v3_at_3600 = 0.0;
+    for (double x = 1500.0; x <= 4500.0; x += 500.0) {
+        const double v2 = speed(node, 1, x, sim::KernelVersion::kV2);
+        const double v3 = speed(node, 1, x, sim::KernelVersion::kV3);
+        const double v3_single = speed(crippled, 1, x, sim::KernelVersion::kV3);
+        const double c2 = speed(node, 0, x, sim::KernelVersion::kV2);
+        const double c3 = speed(node, 0, x, sim::KernelVersion::kV3);
+        table.row().cell(static_cast<std::int64_t>(x)).cell(v2, 1).cell(v3, 1)
+            .cell(100.0 * (v3 / v2 - 1.0), 1).cell(v3_single, 1).cell(c2, 1)
+            .cell(c3, 1).cell(100.0 * (c3 / c2 - 1.0), 1);
+        csv.write_row(std::vector<double>{x, v2, v3, v3_single, c2, c3});
+        if (x == 3500.0 || x == 3600.0) {
+            gtx_gain_at_3600 = v3 / v2 - 1.0;
+            crippled_v3_at_3600 = v3_single;
+            full_v3_at_3600 = v3;
+        }
+    }
+    table.print();
+    std::printf("\n");
+
+    bool ok = true;
+    ok &= bench::shape_check("ablation_overlap.v3_beats_v2",
+                             gtx_gain_at_3600 > 0.15,
+                             "GTX680 gain " + fixed(100.0 * gtx_gain_at_3600, 1) +
+                                 "% out of core");
+    ok &= bench::shape_check(
+        "ablation_overlap.second_dma_engine_helps",
+        crippled_v3_at_3600 < full_v3_at_3600,
+        "1-DMA GTX680 v3 " + fixed(crippled_v3_at_3600, 1) + " < 2-DMA " +
+            fixed(full_v3_at_3600, 1) + " GFlops");
+    std::printf("\nraw series written to ablation_overlap.csv\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 2: speed functions of a socket, s5(x) and s6(x), built
+// for the ACML-like kernel in single precision with blocking factor 640.
+//
+// Shape criteria (paper): speed rises then flattens inside the 60-120
+// GFlops band; 6 active cores beat 5; scaling with core count is
+// sub-linear because of shared-resource contention.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/trace/ascii_chart.hpp"
+#include "fpm/trace/csv.hpp"
+#include "fpm/trace/table.hpp"
+
+using namespace fpm;
+
+int main() {
+    sim::HybridNode node(sim::ig_platform(), {});
+    bench::print_platform(node);
+    std::printf("Fig. 2 — speed functions of a socket: s5(x), s6(x)\n\n");
+
+    // Build the two socket FPMs exactly as the partitioning pipeline does.
+    core::SimCpuKernelBench bench5(node, 0, 5);
+    core::SimCpuKernelBench bench6(node, 0, 6);
+    const auto options = bench::bench_fpm_options(1200.0);
+    const core::SpeedFunction s5 = core::build_fpm(bench5, options);
+    const core::SpeedFunction s6 = core::build_fpm(bench6, options);
+
+    trace::Table table({"Matrix blocks (b x b)", "s5 (GFlops)", "s6 (GFlops)"});
+    trace::Series series5{"s5(x) - 5 cores", '+', {}, {}};
+    trace::Series series6{"s6(x) - 6 cores", '*', {}, {}};
+    trace::CsvWriter csv("fig2_socket_fpm.csv");
+    csv.write_row(std::vector<std::string>{"x_blocks", "s5_gflops", "s6_gflops"});
+
+    for (double x = 50.0; x <= 1200.0; x += 50.0) {
+        const double g5 = s5.gflops(x, 640);
+        const double g6 = s6.gflops(x, 640);
+        table.row().cell(static_cast<std::int64_t>(x)).cell(g5, 1).cell(g6, 1);
+        series5.xs.push_back(x);
+        series5.ys.push_back(g5);
+        series6.xs.push_back(x);
+        series6.ys.push_back(g6);
+        csv.write_row(std::vector<double>{x, g5, g6});
+    }
+    table.print();
+    std::printf("\n%s\n",
+                trace::render_chart({series6, series5},
+                                    {.width = 72,
+                                     .height = 18,
+                                     .x_label = "Matrix blocks (b x b)",
+                                     .y_label = "Speed (GFlops)",
+                                     .y_min = 40.0})
+                    .c_str());
+
+    // Shape checks.
+    bool ok = true;
+    const double g6_plateau = s6.gflops(900.0, 640);
+    const double g5_plateau = s5.gflops(750.0, 640);
+    ok &= bench::shape_check("fig2.band", g6_plateau > 60.0 && g6_plateau < 120.0,
+                             "s6 plateau " + fixed(g6_plateau, 1) + " GFlops");
+    ok &= bench::shape_check("fig2.order", g6_plateau > g5_plateau,
+                             "s6 " + fixed(g6_plateau, 1) + " > s5 " +
+                                 fixed(g5_plateau, 1));
+    const double ramp_ratio = s6.gflops(30.0, 640) / g6_plateau;
+    ok &= bench::shape_check("fig2.ramp", ramp_ratio < 0.98,
+                             "s6(30)/s6(900) = " + fixed(ramp_ratio, 2));
+    // Sub-linear scaling: 6 cores less than 6/5 of 5 cores' speed * 6/5.
+    const double scaling = g6_plateau / g5_plateau;
+    ok &= bench::shape_check("fig2.sublinear", scaling < 1.2,
+                             "s6/s5 = " + fixed(scaling, 3) + " < 6/5");
+    std::printf("\nraw series written to fig2_socket_fpm.csv\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Reproduces Fig. 3: speed functions of the GeForce GTX680 for the three
+// kernel versions — version 1 (C round-trips every call), version 2
+// (C resident / out-of-core tiling past the device-memory limit) and
+// version 3 (double-buffered overlap) — plus the memory-limit marker.
+//
+// Shape criteria (paper): v2 roughly doubles v1 while the problem fits in
+// device memory; a hard drop at the memory limit; v3 improves on v2 by
+// around 30 % out of core; the Tesla C870 (single DMA engine) gains less.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/trace/ascii_chart.hpp"
+#include "fpm/trace/csv.hpp"
+#include "fpm/trace/table.hpp"
+
+using namespace fpm;
+
+int main() {
+    sim::HybridNode node(sim::ig_platform(), {});
+    bench::print_platform(node);
+    std::printf("Fig. 3 — GeForce GTX680 kernel versions 1/2/3\n\n");
+
+    constexpr std::size_t kGtx = 1;
+    constexpr std::size_t kC870 = 0;
+    const double cap = node.gpu_model(kGtx).capacity_blocks();
+
+    // Build the three FPMs through the standard pipeline.
+    std::vector<core::SpeedFunction> models;
+    for (const auto version : {sim::KernelVersion::kV1, sim::KernelVersion::kV2,
+                               sim::KernelVersion::kV3}) {
+        core::SimGpuKernelBench bench(node, kGtx, version);
+        models.push_back(core::build_fpm(bench, bench::bench_fpm_options(4200.0)));
+    }
+
+    trace::Table table({"Matrix blocks (b x b)", "version 1", "version 2",
+                        "version 3", ""});
+    trace::Series s1{"version 1", '1', {}, {}};
+    trace::Series s2{"version 2", '2', {}, {}};
+    trace::Series s3{"version 3", '3', {}, {}};
+    trace::CsvWriter csv("fig3_gpu_kernels.csv");
+    csv.write_row(std::vector<std::string>{"x_blocks", "v1_gflops", "v2_gflops",
+                                           "v3_gflops"});
+
+    bool limit_marked = false;
+    for (double x = 100.0; x <= 4200.0; x += 100.0) {
+        const double v1 = models[0].gflops(x, 640);
+        const double v2 = models[1].gflops(x, 640);
+        const double v3 = models[2].gflops(x, 640);
+        std::string marker;
+        if (!limit_marked && x + 100.0 > cap && x <= cap) {
+            marker = "<- memory limit";
+            limit_marked = true;
+        }
+        table.row().cell(static_cast<std::int64_t>(x)).cell(v1, 1).cell(v2, 1)
+            .cell(v3, 1).cell(marker);
+        s1.xs.push_back(x);
+        s1.ys.push_back(v1);
+        s2.xs.push_back(x);
+        s2.ys.push_back(v2);
+        s3.xs.push_back(x);
+        s3.ys.push_back(v3);
+        csv.write_row(std::vector<double>{x, v1, v2, v3});
+    }
+    table.print();
+    std::printf("\n(memory limit at x = %.0f blocks)\n\n", cap);
+    std::printf("%s\n", trace::render_chart({s2, s3, s1},
+                                            {.width = 72,
+                                             .height = 18,
+                                             .x_label = "Matrix blocks (b x b)",
+                                             .y_label = "Speed (GFlops)"})
+                            .c_str());
+
+    bool ok = true;
+    const double v1_in = models[0].gflops(900.0, 640);
+    const double v2_in = models[1].gflops(900.0, 640);
+    ok &= bench::shape_check("fig3.v2_doubles_v1", v2_in > 1.8 * v1_in,
+                             "in-core v2/v1 = " + fixed(v2_in / v1_in, 2));
+    const double v2_before = models[1].gflops(cap * 0.8, 640);
+    const double v2_after = models[1].gflops(cap * 1.8, 640);
+    ok &= bench::shape_check("fig3.memory_cliff", v2_after < 0.65 * v2_before,
+                             "v2 " + fixed(v2_before, 0) + " -> " +
+                                 fixed(v2_after, 0) + " GFlops across the limit");
+    const double v2_ooc = models[1].gflops(3600.0, 640);
+    const double v3_ooc = models[2].gflops(3600.0, 640);
+    const double gain = v3_ooc / v2_ooc - 1.0;
+    ok &= bench::shape_check("fig3.overlap_gain",
+                             gain > 0.15 && gain < 0.55,
+                             "v3/v2 - 1 = " + fixed(100.0 * gain, 1) +
+                                 "% at x=3600 (paper ~30%)");
+
+    // C870 comparison: relative overlap gain strictly smaller.
+    core::SimGpuKernelBench c870_v2(node, kC870, sim::KernelVersion::kV2);
+    core::SimGpuKernelBench c870_v3(node, kC870, sim::KernelVersion::kV3);
+    const double c870_x = node.gpu_model(kC870).capacity_blocks() * 2.5;
+    const double c870_gain =
+        (c870_x / c870_v3.run(c870_x)) / (c870_x / c870_v2.run(c870_x)) - 1.0;
+    ok &= bench::shape_check("fig3.c870_gains_less", c870_gain < gain,
+                             "C870 gain " + fixed(100.0 * c870_gain, 1) +
+                                 "% < GTX680 gain " + fixed(100.0 * gain, 1) + "%");
+    std::printf("\nraw series written to fig3_gpu_kernels.csv\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Reproduces Fig. 4: the out-of-core kernel's buffer plan (a) and the
+// concurrent data transfers / kernel executions on the two GPUs (b), as a
+// Gantt trace of the discrete-event schedule.
+//
+// Shape criteria (paper): on the GTX680 (two DMA engines) host-to-device
+// and device-to-host transfers overlap each other and the compute; on the
+// Tesla C870 (one DMA engine) all transfers serialise on a single engine
+// while still overlapping compute.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fpm/trace/table.hpp"
+
+using namespace fpm;
+
+int main() {
+    sim::HybridNode node(sim::ig_platform(), {});
+    bench::print_platform(node);
+    std::printf("Fig. 4 — out-of-core plan and overlap schedule (version 3)\n\n");
+
+    bool ok = true;
+    for (std::size_t gpu = 0; gpu < node.gpu_count(); ++gpu) {
+        const auto& spec = node.gpu_model(gpu).spec();
+        const double cap = node.gpu_model(gpu).capacity_blocks();
+        const std::int64_t side = 55;  // 3025 blocks: well out of core
+        const auto timing = node.gpu_sim(gpu).time_invocation(
+            side, side, sim::KernelVersion::kV3);
+
+        std::printf("%s (%u DMA engine%s, capacity %.0f blocks)\n",
+                    spec.name.c_str(), spec.dma_engines,
+                    spec.dma_engines == 1 ? "" : "s", cap);
+
+        // (a) the tiling plan.
+        trace::Table plan_table({"chunk", "rows", "blocks", "upload C",
+                                 "download C"});
+        for (std::size_t i = 0; i < timing.plan.chunks.size(); ++i) {
+            const auto& chunk = timing.plan.chunks[i];
+            plan_table.row()
+                .cell(static_cast<std::int64_t>(i))
+                .cell(chunk.rows())
+                .cell(chunk.rows() * side)
+                .cell(chunk.skip_upload ? "resident" : "yes")
+                .cell(chunk.skip_download ? "deferred" : "yes");
+        }
+        plan_table.print();
+
+        // (b) the schedule.
+        std::printf("\nschedule (B = pivot row, H = upload, C = compute, "
+                    "D = download):\n%s",
+                    timing.timeline.render_gantt(72).c_str());
+        std::printf("makespan %.3f s; engine busy: compute %.3f s, h2d %.3f s,"
+                    " d2h %.3f s\n\n",
+                    timing.total_s, timing.compute_s, timing.h2d_s,
+                    timing.d2h_s);
+
+        // Shape checks per GPU.
+        const bool overlapped =
+            timing.total_s <
+            0.95 * (timing.compute_s + timing.h2d_s + timing.d2h_s);
+        ok &= bench::shape_check(
+            "fig4." + std::string(spec.dma_engines == 2 ? "gtx680" : "c870") +
+                ".overlap",
+            overlapped, "makespan < serial sum of engine busy times");
+        if (spec.dma_engines == 2) {
+            ok &= bench::shape_check("fig4.gtx680.bidirectional",
+                                     timing.d2h_s > 0.0,
+                                     "d2h runs on its own engine");
+        } else {
+            ok &= bench::shape_check("fig4.c870.single_engine",
+                                     timing.d2h_s == 0.0,
+                                     "all transfers share one engine");
+        }
+    }
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Reproduces Fig. 5: impact of CPU/GPU resource contention on the speed
+// functions when both kernels run simultaneously on one socket, with the
+// workload split cores:GPU = 1:10 (GPU in-core) and 1:5 (out-of-core).
+//
+// Shape criteria (paper): the 5 CPU cores show almost the same speed as
+// with the GPU idle; the GPU loses 7-15 %.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/trace/ascii_chart.hpp"
+#include "fpm/trace/csv.hpp"
+#include "fpm/trace/table.hpp"
+
+using namespace fpm;
+
+int main() {
+    sim::HybridNode node(sim::ig_platform(), {});
+    bench::print_platform(node);
+    std::printf("Fig. 5 — CPU/GPU resource contention on one socket "
+                "(GTX680's socket, 5 compute cores + dedicated core)\n\n");
+
+    constexpr std::size_t kGtx = 1;
+    const auto options = bench::bench_fpm_options(1200.0);
+    const auto gpu_options = bench::bench_fpm_options(4200.0);
+
+    // CPU side: 5 cores exclusive vs 5 cores with the GPU process busy.
+    core::SimCpuKernelBench cpu_alone(node, 1, 5, /*gpu_coactive=*/false);
+    core::SimCpuKernelBench cpu_shared(node, 1, 5, /*gpu_coactive=*/true);
+    const auto s5_alone = core::build_fpm(cpu_alone, options);
+    const auto s5_shared = core::build_fpm(cpu_shared, options);
+
+    // GPU side: exclusive vs 5 co-active CPU cores.
+    core::SimGpuKernelBench gpu_alone(node, kGtx, sim::KernelVersion::kV3, 0);
+    core::SimGpuKernelBench gpu_shared(node, kGtx, sim::KernelVersion::kV3, 5);
+    const auto g_alone = core::build_fpm(gpu_alone, gpu_options);
+    const auto g_shared = core::build_fpm(gpu_shared, gpu_options);
+
+    std::printf("(a) speed of 5 cores sharing the socket with the GPU\n");
+    trace::Table cpu_table({"Matrix blocks", "CPU-only", "with GPU (1:5/1:10)",
+                            "ratio"});
+    trace::CsvWriter csv("fig5_contention.csv");
+    csv.write_row(std::vector<std::string>{
+        "x_blocks", "cpu_alone", "cpu_shared", "gpu_alone", "gpu_shared"});
+    for (double x = 100.0; x <= 1200.0; x += 100.0) {
+        const double alone = s5_alone.gflops(x, 640);
+        const double shared = s5_shared.gflops(x, 640);
+        cpu_table.row().cell(static_cast<std::int64_t>(x)).cell(alone, 1)
+            .cell(shared, 1).cell(shared / alone, 3);
+        csv.write_row(std::vector<double>{x, alone, shared,
+                                          g_alone.gflops(x * 10.0 / 3.0, 640),
+                                          g_shared.gflops(x * 10.0 / 3.0, 640)});
+    }
+    cpu_table.print();
+
+    std::printf("\n(b) combined speed of GTX680 + dedicated core\n");
+    trace::Table gpu_table({"Matrix blocks", "GPU-only",
+                            "with 5 cores (1:5/1:10)", "drop %"});
+    trace::Series ga{"GPU-only", '*', {}, {}};
+    trace::Series gs{"with CPU cores", 'o', {}, {}};
+    for (double x = 300.0; x <= 4200.0; x += 300.0) {
+        const double alone = g_alone.gflops(x, 640);
+        const double shared = g_shared.gflops(x, 640);
+        gpu_table.row().cell(static_cast<std::int64_t>(x)).cell(alone, 1)
+            .cell(shared, 1).cell(100.0 * (1.0 - shared / alone), 1);
+        ga.xs.push_back(x);
+        ga.ys.push_back(alone);
+        gs.xs.push_back(x);
+        gs.ys.push_back(shared);
+    }
+    gpu_table.print();
+    std::printf("\n%s\n", trace::render_chart({ga, gs},
+                                              {.width = 72,
+                                               .height = 16,
+                                               .x_label = "Matrix blocks (b x b)",
+                                               .y_label = "Speed (GFlops)"})
+                              .c_str());
+
+    bool ok = true;
+    const double cpu_ratio = s5_shared.gflops(800.0, 640) / s5_alone.gflops(800.0, 640);
+    ok &= bench::shape_check("fig5.cpu_unaffected", cpu_ratio > 0.95,
+                             "cores keep " + fixed(100.0 * cpu_ratio, 1) +
+                                 "% of exclusive speed");
+    double worst_drop = 0.0;
+    double best_drop = 1.0;
+    for (double x : {800.0, 2000.0, 3600.0}) {
+        const double drop = 1.0 - g_shared.gflops(x, 640) / g_alone.gflops(x, 640);
+        worst_drop = std::max(worst_drop, drop);
+        best_drop = std::min(best_drop, drop);
+    }
+    ok &= bench::shape_check("fig5.gpu_drop_band",
+                             best_drop > 0.05 && worst_drop < 0.20,
+                             "GPU drop " + fixed(100.0 * best_drop, 1) + "-" +
+                                 fixed(100.0 * worst_drop, 1) +
+                                 "% (paper: 7-15%)");
+    std::printf("\nraw series written to fig5_contention.csv\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// google-benchmark micro-benchmarks of the real GEMM substrate: the
+// blocked kernel versus the naive oracle across sizes, plus the
+// application kernel shape Ci += A(b) x B(b).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "fpm/blas/gemm.hpp"
+#include "fpm/blas/matrix.hpp"
+#include "fpm/common/rng.hpp"
+
+namespace {
+
+using fpm::blas::ConstMatrixView;
+using fpm::blas::Matrix;
+
+template <typename T>
+Matrix<T> random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+    Matrix<T> m(rows, cols);
+    fpm::Rng rng(seed);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            m(r, c) = static_cast<T>(rng.uniform(-1.0, 1.0));
+        }
+    }
+    return m;
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = random_matrix<float>(n, n, 1);
+    const auto b = random_matrix<float>(n, n, 2);
+    Matrix<float> c(n, n, 0.0F);
+    for (auto _ : state) {
+        fpm::blas::gemm_naive<float>(a.view(), b.view(), c.view());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128);
+
+void BM_GemmBlocked(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = random_matrix<float>(n, n, 3);
+    const auto b = random_matrix<float>(n, n, 4);
+    Matrix<float> c(n, n, 0.0F);
+    for (auto _ : state) {
+        fpm::blas::gemm<float>(a.view(), b.view(), c.view());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The application's representative kernel: a rank-b update of a w x h
+// block rectangle (Fig. 1b of the paper) with b = 64.
+void BM_KernelUpdate(benchmark::State& state) {
+    constexpr std::size_t kBlock = 64;
+    const auto blocks = static_cast<std::size_t>(state.range(0));
+    const auto side = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(blocks))));
+    const std::size_t h = side * kBlock;
+    const std::size_t w = (blocks / side) * kBlock;
+    const auto a_col = random_matrix<float>(h, kBlock, 5);
+    const auto b_row = random_matrix<float>(kBlock, w, 6);
+    Matrix<float> c(h, w, 0.0F);
+    for (auto _ : state) {
+        fpm::blas::gemm<float>(a_col.view(), b_row.view(), c.view());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(
+        state.iterations() * static_cast<std::int64_t>(2 * h * w * kBlock));
+}
+BENCHMARK(BM_KernelUpdate)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GemmMultithread(benchmark::State& state) {
+    const std::size_t n = 256;
+    const auto threads = static_cast<unsigned>(state.range(0));
+    const auto a = random_matrix<float>(n, n, 7);
+    const auto b = random_matrix<float>(n, n, 8);
+    Matrix<float> c(n, n, 0.0F);
+    for (auto _ : state) {
+        fpm::blas::gemm_multithread<float>(a.view(), b.view(), c.view(),
+                                           threads);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmMultithread)->Arg(1)->Arg(2)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// model_builder: build a functional performance model of THIS machine.
+//
+// Wraps the library's real blocked GEMM in a KernelBenchmark and builds an
+// FPM of the host by timing the application kernel Ci += A(b) x B(b) at a
+// series of problem sizes, with the repeat-until-reliable loop doing the
+// statistics.  This is exactly what you would do to deploy the
+// partitioner on real hardware: one such model per device, then
+// part::partition_fpm over them.
+//
+// Usage: ./examples/model_builder [block_size] [threads] [max_blocks]
+//   defaults: block_size=64 threads=2 max_blocks=96
+#include <cstdio>
+#include <cstdlib>
+
+#include "fpm/core/fpm_builder.hpp"
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/core/models.hpp"
+#include "fpm/trace/ascii_chart.hpp"
+#include "fpm/trace/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace fpm;
+
+    const std::size_t block_size =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+    const unsigned threads =
+        argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 2;
+    const double max_blocks =
+        argc > 3 ? std::strtod(argv[3], nullptr) : 96.0;
+
+    std::printf("building the FPM of this host: GEMM kernel, b = %zu, "
+                "%u thread(s), x in [1, %.0f] blocks\n\n",
+                block_size, threads, max_blocks);
+
+    core::RealGemmKernelBench bench(block_size, threads);
+
+    core::FpmBuildOptions options;
+    options.x_min = 1.0;
+    options.x_max = max_blocks;
+    options.initial_points = 8;
+    options.max_points = 16;
+    options.reliability.min_repetitions = 3;
+    options.reliability.max_repetitions = 12;
+    options.reliability.target_relative_error = 0.08;
+    options.reliability.max_total_seconds = 10.0;
+
+    const core::SpeedFunction model = core::build_fpm(bench, options);
+
+    trace::Table table({"x (blocks)", "kernel time (s)", "speed (GFlop/s)"});
+    trace::Series series{"host FPM", '*', {}, {}};
+    for (const auto& point : model.points()) {
+        table.row()
+            .cell(point.x, 1)
+            .cell(point.x / point.speed, 4)
+            .cell(model.gflops(point.x, block_size), 2);
+        series.xs.push_back(point.x);
+        series.ys.push_back(model.gflops(point.x, block_size));
+    }
+    table.print();
+
+    std::printf("\n%s\n", trace::render_chart({series},
+                                              {.width = 64,
+                                               .height = 14,
+                                               .x_label = "blocks",
+                                               .y_label = "GFlop/s",
+                                               .y_min = 0.0,
+                                               .auto_y_min = false})
+                              .c_str());
+
+    // For comparison: what the constant model (CPM) of this host would be
+    // if calibrated at a small size — the approximation whose failure the
+    // paper demonstrates.
+    const auto cpm = core::build_cpm(bench, 4.0, options.reliability);
+    std::printf("CPM calibrated at x=4: %.2f GFlop/s (the FPM spans %.2f to "
+                "%.2f GFlop/s)\n",
+                core::SpeedFunction::constant(cpm.speed).gflops(1.0, block_size),
+                model.gflops(model.points().front().x, block_size),
+                model.gflops(model.points().back().x, block_size));
+    return 0;
+}

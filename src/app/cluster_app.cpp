@@ -1,0 +1,96 @@
+#include "fpm/app/cluster_app.hpp"
+
+#include <algorithm>
+
+#include "fpm/sim/gpu_kernel_sim.hpp"
+
+namespace fpm::app {
+
+ClusterAppResult run_simulated_cluster_app(
+    const sim::HybridCluster& cluster, const std::vector<DeviceSet>& sets,
+    const std::vector<std::vector<std::int64_t>>& device_blocks,
+    std::int64_t n) {
+    FPM_CHECK(n >= 1, "matrix size must be positive");
+    FPM_CHECK(sets.size() == cluster.node_count(),
+              "device sets must match the cluster");
+    FPM_CHECK(device_blocks.size() == cluster.node_count(),
+              "device blocks must match the cluster");
+
+    std::int64_t grand_total = 0;
+    for (std::size_t i = 0; i < device_blocks.size(); ++i) {
+        FPM_CHECK(device_blocks[i].size() == sets[i].devices.size(),
+                  "device blocks must match each node's device set");
+        for (const auto blocks : device_blocks[i]) {
+            FPM_CHECK(blocks >= 0, "block counts must be non-negative");
+            grand_total += blocks;
+        }
+    }
+    FPM_CHECK(grand_total == n * n, "device blocks must sum to n*n");
+
+    ClusterAppResult result;
+    result.node_iter_time.assign(cluster.node_count(), 0.0);
+
+    for (std::size_t node_index = 0; node_index < cluster.node_count();
+         ++node_index) {
+        const sim::HybridNode& node = cluster.node(node_index);
+        const DeviceSet& set = sets[node_index];
+        double node_time = 0.0;
+        for (std::size_t d = 0; d < set.devices.size(); ++d) {
+            const std::int64_t area = device_blocks[node_index][d];
+            if (area == 0) {
+                continue;
+            }
+            const Device& device = set.devices[d];
+            double t = 0.0;
+            if (device.kind == DeviceKind::kCpuSocket) {
+                t = node.cpu_kernel_time(device.socket, device.cores,
+                                         static_cast<double>(area),
+                                         set.gpu_on_socket(device.socket));
+            } else {
+                t = node.gpu_kernel_time(device.gpu_index,
+                                         static_cast<double>(area),
+                                         device.gpu_version,
+                                         set.cpu_cores_on_socket(device.socket));
+            }
+            node_time = std::max(node_time, t);
+        }
+        result.node_iter_time[node_index] = node_time;
+    }
+
+    const double iter_compute =
+        *std::max_element(result.node_iter_time.begin(),
+                          result.node_iter_time.end());
+    // Inter-node pivot broadcast: one block-column of A and one block-row
+    // of B (n blocks each) cross the interconnect every iteration.
+    const double iter_comm = cluster.broadcast_time(2.0 * static_cast<double>(n));
+
+    result.compute_time = iter_compute * static_cast<double>(n);
+    result.comm_time = iter_comm * static_cast<double>(n);
+    result.total_time = result.compute_time + result.comm_time;
+    return result;
+}
+
+std::vector<DeviceSet> cluster_device_sets(sim::HybridCluster& cluster,
+                                           sim::KernelVersion version) {
+    std::vector<DeviceSet> sets;
+    sets.reserve(cluster.node_count());
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+        sets.push_back(hybrid_devices(cluster.node(i), version));
+    }
+    return sets;
+}
+
+std::vector<std::vector<core::SpeedFunction>> cluster_device_fpms(
+    sim::HybridCluster& cluster, const std::vector<DeviceSet>& sets,
+    const core::FpmBuildOptions& options) {
+    FPM_CHECK(sets.size() == cluster.node_count(),
+              "device sets must match the cluster");
+    std::vector<std::vector<core::SpeedFunction>> models;
+    models.reserve(sets.size());
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        models.push_back(build_device_fpms(cluster.node(i), sets[i], options));
+    }
+    return models;
+}
+
+} // namespace fpm::app

@@ -1,0 +1,106 @@
+#include "fpm/app/host_ooc.hpp"
+
+#include "fpm/blas/gemm.hpp"
+
+namespace fpm::app {
+
+namespace {
+
+void copy_band(blas::ConstMatrixView<float> src, blas::MatrixView<float> dst) {
+    FPM_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+              "band shapes must match");
+    for (std::size_t r = 0; r < src.rows(); ++r) {
+        for (std::size_t c = 0; c < src.cols(); ++c) {
+            dst(r, c) = src(r, c);
+        }
+    }
+}
+
+} // namespace
+
+HostOocExecutor::HostOocExecutor(std::size_t block_size, double capacity_blocks,
+                                 sim::KernelVersion version)
+    : block_size_(block_size), capacity_blocks_(capacity_blocks),
+      version_(version) {
+    FPM_CHECK(block_size >= 1, "block size must be positive");
+    FPM_CHECK(capacity_blocks > 0.0, "capacity must be positive");
+}
+
+void HostOocExecutor::invoke(blas::ConstMatrixView<float> a_col,
+                             blas::ConstMatrixView<float> b_row,
+                             blas::MatrixView<float> c_host) {
+    const std::size_t b = block_size_;
+    FPM_CHECK(c_host.rows() % b == 0 && c_host.cols() % b == 0,
+              "C must be whole blocks");
+    FPM_CHECK(a_col.rows() == c_host.rows() && a_col.cols() == b,
+              "A(b) must be h blocks by one block");
+    FPM_CHECK(b_row.cols() == c_host.cols() && b_row.rows() == b,
+              "B(b) must be one block by w blocks");
+
+    sim::OocPlanRequest request;
+    request.width_blocks = static_cast<std::int64_t>(c_host.cols() / b);
+    request.height_blocks = static_cast<std::int64_t>(c_host.rows() / b);
+    request.capacity_blocks = capacity_blocks_;
+    request.version = version_;
+    request.block_size = static_cast<std::int64_t>(b);
+    request.reversed = reversed_;
+    const sim::OocPlan plan = sim::build_ooc_plan(request);
+
+    traffic_.upload_pivot_blocks += plan.upload_pivot_blocks();
+
+    for (const auto& chunk : plan.chunks) {
+        const auto rows_elems = static_cast<std::size_t>(chunk.rows()) * b;
+        const auto row0_elems = static_cast<std::size_t>(chunk.row_begin) * b;
+        const auto key = std::make_pair(chunk.row_begin, chunk.row_end);
+        const double area =
+            static_cast<double>(chunk.rows() * request.width_blocks);
+
+        // "Upload" the C band into its device buffer, unless a resident
+        // copy carries it over from the previous iteration.
+        auto it = resident_.find(key);
+        if (it == resident_.end()) {
+            blas::Matrix<float> buffer(rows_elems, c_host.cols());
+            copy_band(c_host.block(row0_elems, 0, rows_elems, c_host.cols()),
+                      buffer.view());
+            it = resident_.emplace(key, std::move(buffer)).first;
+            traffic_.upload_c_blocks += area;
+        } else if (!chunk.skip_upload) {
+            // The plan expected a fresh upload; the resident copy is newer
+            // or equal (deferred write-back), so reuse it and still count
+            // the planned traffic for faithful accounting.
+            traffic_.upload_c_blocks += area;
+        }
+
+        // GEMM on the "device": band of C += band of A(b) * B(b).
+        blas::gemm<float>(
+            a_col.block(row0_elems, 0, rows_elems, b), b_row, it->second.view());
+
+        if (!chunk.skip_download) {
+            copy_band(it->second.view(),
+                      c_host.block(row0_elems, 0, rows_elems, c_host.cols()));
+            traffic_.download_c_blocks += area;
+            resident_.erase(it);
+        }
+    }
+
+    // Residency budget: the device keeps at most two C bands (the two C
+    // buffers of the tail-reuse scheme) or the single in-core band.
+    FPM_ASSERT(resident_.size() <= (plan.in_core ? 1U : 2U));
+
+    reversed_ = !reversed_;
+}
+
+void HostOocExecutor::flush(blas::MatrixView<float> c_host) {
+    const std::size_t b = block_size_;
+    for (auto& [key, buffer] : resident_) {
+        const auto row0_elems = static_cast<std::size_t>(key.first) * b;
+        copy_band(buffer.view(),
+                  c_host.block(row0_elems, 0, buffer.rows(), c_host.cols()));
+        traffic_.download_c_blocks +=
+            static_cast<double>(buffer.rows() / b) *
+            static_cast<double>(buffer.cols() / b);
+    }
+    resident_.clear();
+}
+
+} // namespace fpm::app

@@ -1,0 +1,66 @@
+/// \file host_ooc.hpp
+/// \brief Host reference executor for the out-of-core GPU kernel plans.
+///
+/// Executes an OocPlan with real arithmetic: a capacity-limited host-side
+/// "device arena" stands in for GPU memory, memcpy stands in for PCIe
+/// transfers, and the blocked GEMM stands in for CUBLAS.  The executor
+/// maintains resident chunks across invocations, so the tail-reuse and
+/// deferred-writeback semantics of kernel versions 2/3 (skip_upload /
+/// skip_download, serpentine order) are exercised for real and can be
+/// verified numerically against a plain GEMM.
+///
+/// This is the functional counterpart of fpm::sim::GpuKernelSim: the
+/// simulator prices a plan in seconds, this executor proves the plan
+/// computes the right numbers and counts its actual traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "fpm/blas/matrix.hpp"
+#include "fpm/sim/ooc_plan.hpp"
+
+namespace fpm::app {
+
+/// Transfer counters, in b-by-b blocks.
+struct OocTraffic {
+    double upload_c_blocks = 0.0;
+    double download_c_blocks = 0.0;
+    double upload_pivot_blocks = 0.0;
+};
+
+/// See file comment.
+class HostOocExecutor {
+public:
+    /// `capacity_blocks` is the simulated device-memory budget.
+    HostOocExecutor(std::size_t block_size, double capacity_blocks,
+                    sim::KernelVersion version);
+
+    /// One kernel invocation: c_host (h*b x w*b) += a_col (h*b x b) *
+    /// b_row (b x w*b).  Alternates serpentine order automatically.
+    /// Deferred chunks are NOT written to c_host until flush().
+    void invoke(blas::ConstMatrixView<float> a_col,
+                blas::ConstMatrixView<float> b_row,
+                blas::MatrixView<float> c_host);
+
+    /// Writes every resident chunk back to the host matrix and clears the
+    /// residency cache (application epilogue).
+    void flush(blas::MatrixView<float> c_host);
+
+    [[nodiscard]] const OocTraffic& traffic() const noexcept { return traffic_; }
+    [[nodiscard]] sim::KernelVersion version() const noexcept { return version_; }
+    [[nodiscard]] std::size_t resident_chunks() const { return resident_.size(); }
+
+private:
+    std::size_t block_size_;
+    double capacity_blocks_;
+    sim::KernelVersion version_;
+    bool reversed_ = false;
+    OocTraffic traffic_{};
+
+    /// Resident device copies of C bands, keyed by [row_begin, row_end).
+    std::map<std::pair<std::int64_t, std::int64_t>, blas::Matrix<float>> resident_;
+};
+
+} // namespace fpm::app

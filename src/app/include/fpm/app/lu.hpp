@@ -1,0 +1,70 @@
+/// \file lu.hpp
+/// \brief Third application family: blocked LU factorisation.
+///
+/// The paper motivates hybrid platforms with Linpack-style workloads
+/// (its ref [1] accelerates Linpack with CUDA).  Blocked right-looking
+/// LU exercises the partitioner differently from GEMM and the stencil:
+/// the bulk of the work is the trailing-submatrix update — a GEMM whose
+/// size *shrinks* every step — preceded by a serial panel factorisation
+/// on the critical path.  Because the workload changes per step, the
+/// distribution is recomputed from the speed models at every iteration
+/// (cheap: the partitioner costs microseconds; in shared memory there is
+/// no data-migration penalty).
+///
+/// No pivoting is performed; callers supply diagonally-dominant matrices
+/// (the factorisation checks pivots and throws otherwise).  The point
+/// here is load balancing, not numerics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpm/blas/matrix.hpp"
+#include "fpm/core/speed_function.hpp"
+
+namespace fpm::app {
+
+/// One device participating in the trailing updates.
+struct LuDevice {
+    unsigned threads = 1;   ///< GEMM threads for this device's band
+    double weight = 1.0;    ///< relative speed (e.g. from an FPM at the
+                            ///< current trailing size); > 0
+};
+
+/// Report of a factorisation run.
+struct LuReport {
+    double seconds = 0.0;
+    std::size_t steps = 0;
+    double panel_seconds = 0.0;   ///< serial panel work (critical path)
+    double update_seconds = 0.0;  ///< parallel trailing updates (max band)
+};
+
+/// Unblocked in-place LU (no pivoting): A = L\U with unit lower diagonal.
+/// Throws fpm::Error on a near-zero pivot.
+void lu_reference(blas::MatrixView<float> a);
+
+/// Blocked right-looking LU on whole blocks of size `block`; the trailing
+/// update of each step is split into row bands across `devices`
+/// proportionally to their weights.  A.rows() == A.cols() must be a
+/// multiple of `block`.
+LuReport lu_factor_blocked(blas::Matrix<float>& a, std::size_t block,
+                           std::span<const LuDevice> devices);
+
+/// Reconstructs L * U from a factorised matrix (for verification).
+blas::Matrix<float> lu_multiply_factors(const blas::Matrix<float>& factors);
+
+/// Simulated execution time of the blocked LU on a device population
+/// described by GEMM-kernel speed functions (blocks/second): per step,
+/// the serial panel runs on the fastest device and the trailing update is
+/// FPM-partitioned at its current size.  Used by the E3 bench to compare
+/// FPM-based and homogeneous trailing distributions.
+struct LuSimResult {
+    double total_time = 0.0;
+    double panel_time = 0.0;
+    double update_time = 0.0;
+};
+LuSimResult lu_simulated_time(std::span<const core::SpeedFunction> models,
+                              std::int64_t n_blocks, bool fpm_partitioning);
+
+} // namespace fpm::app

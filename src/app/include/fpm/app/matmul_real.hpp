@@ -1,0 +1,51 @@
+/// \file matmul_real.hpp
+/// \brief Heterogeneous parallel column-based matrix multiplication with
+///        real arithmetic (paper section IV, Fig. 1a).
+///
+/// Executes C += A * B on n x n block matrices, partitioned over a device
+/// set by a 2-D column layout: at iteration k the pivot block-column of A
+/// and pivot block-row of B are made available to all devices (shared
+/// memory stands in for the broadcast) and every device updates its own
+/// rectangle of C with one GEMM.  Devices marked as GPUs route their
+/// update through a HostOocExecutor, so the out-of-core kernel versions
+/// participate in the full pipeline and the final C can be verified
+/// against a plain GEMM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/app/device_set.hpp"
+#include "fpm/app/host_ooc.hpp"
+#include "fpm/blas/matrix.hpp"
+#include "fpm/part/column2d.hpp"
+
+namespace fpm::app {
+
+/// Per-device execution policy for the real run.
+struct RealDevice {
+    unsigned threads = 1;   ///< GEMM threads (cores of the socket)
+    bool is_gpu = false;    ///< route through the out-of-core executor
+    double gpu_capacity_blocks = 0.0;          ///< device-memory stand-in
+    sim::KernelVersion gpu_version = sim::KernelVersion::kV3;
+};
+
+/// Timing/traffic report of a real run.
+struct RealRunReport {
+    double seconds = 0.0;
+    std::vector<double> device_compute_seconds;
+    std::vector<OocTraffic> gpu_traffic;  ///< indexed like devices; zeros for CPUs
+};
+
+/// Runs the blocked multiplication.  A is (n*b x n*b), B likewise, C is
+/// accumulated in place.  `layout` must cover n x n blocks with one
+/// rectangle per entry of `devices`.  Throws fpm::Error on any shape
+/// mismatch.  Ranks run concurrently on a ProcessGroup, one per device.
+RealRunReport run_real_matmul(const part::ColumnLayout& layout,
+                              const std::vector<RealDevice>& devices,
+                              std::size_t block_size,
+                              blas::ConstMatrixView<float> a,
+                              blas::ConstMatrixView<float> b,
+                              blas::MatrixView<float> c);
+
+} // namespace fpm::app

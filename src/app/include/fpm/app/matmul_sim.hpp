@@ -1,0 +1,50 @@
+/// \file matmul_sim.hpp
+/// \brief Simulated execution of the heterogeneous parallel matrix
+///        multiplication (paper sections IV and VI).
+///
+/// Given a device set, an integer 1-D partition of the n x n block matrix
+/// and the 2-D column layout derived from it, the simulator reproduces the
+/// application's timing structure: n iterations, each of which broadcasts
+/// the pivot column/row and then updates every device's rectangle in
+/// parallel.  Per-iteration compute time of a device comes from the
+/// contention-aware kernel models of fpm::sim; the iteration cost is the
+/// maximum over devices plus the (optional) communication term.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/app/device_set.hpp"
+#include "fpm/part/column2d.hpp"
+
+namespace fpm::app {
+
+/// Options of a simulated run.
+struct SimAppOptions {
+    bool include_comm = true;  ///< add the pivot-broadcast communication term
+};
+
+/// Result of a simulated run.
+struct SimAppResult {
+    double total_time = 0.0;    ///< execution time (compute + comm), seconds
+    double compute_time = 0.0;  ///< sum over iterations of max device compute
+    double comm_time = 0.0;
+    std::vector<double> device_compute_time;  ///< per device, whole run
+    std::vector<double> device_iter_time;     ///< per device, one iteration
+    part::ColumnLayout layout;
+};
+
+/// Simulates the application for the given block areas (one per device of
+/// the set, summing to n*n).
+SimAppResult run_simulated_app(const sim::HybridNode& node, const DeviceSet& set,
+                               const std::vector<std::int64_t>& areas,
+                               std::int64_t n, const SimAppOptions& options = {});
+
+/// Expands per-device compute times to per-process times in rank order
+/// (the paper's Fig. 6 view: one bar per process, sockets contribute one
+/// process per core, GPUs their dedicated host process).  Ranks are
+/// ordered by socket, with a GPU's host process first on its socket.
+std::vector<double> per_process_times(const DeviceSet& set,
+                                      const std::vector<double>& device_times);
+
+} // namespace fpm::app

@@ -1,0 +1,45 @@
+/// \file stencil.hpp
+/// \brief The second application family: iterative 5-point Jacobi stencil.
+///
+/// Real arithmetic counterpart of fpm::sim::stencil_model.  The grid is
+/// partitioned into horizontal bands (the workload is divisible by rows);
+/// each sweep every device updates its band from the previous grid, with
+/// an iteration barrier in place of the halo exchange (bands read their
+/// neighbours' boundary rows from shared memory, exactly like the pivot
+/// broadcast of the matmul application).  Boundary cells are Dirichlet
+/// (held fixed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpm/blas/matrix.hpp"
+
+namespace fpm::app {
+
+/// One sweep over rows [row_begin, row_end) of the interior: dst(r,c) =
+/// average of the four neighbours and the cell in src.  Rows 0 and
+/// rows-1 and the first/last column are never written.
+void stencil_sweep(blas::ConstMatrixView<float> src, blas::MatrixView<float> dst,
+                   std::size_t row_begin, std::size_t row_end);
+
+/// Serial reference: `sweeps` Jacobi iterations over the whole grid.
+void stencil_reference(blas::Matrix<float>& grid, int sweeps);
+
+/// Report of a parallel run.
+struct StencilRunReport {
+    double seconds = 0.0;
+    std::vector<double> device_seconds;
+};
+
+/// Parallel execution: device i owns `rows_per_device[i]` interior rows
+/// (contiguous bands, in order; the counts must sum to grid.rows() - 2)
+/// and runs its band on `threads[i]` worker threads.  The grid is updated
+/// in place after `sweeps` iterations; results are bit-identical to
+/// stencil_reference.
+StencilRunReport run_real_stencil(std::span<const std::int64_t> rows_per_device,
+                                  std::span<const unsigned> threads,
+                                  blas::Matrix<float>& grid, int sweeps);
+
+} // namespace fpm::app

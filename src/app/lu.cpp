@@ -1,0 +1,219 @@
+#include "fpm/app/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "fpm/blas/gemm.hpp"
+#include "fpm/measure/timer.hpp"
+#include "fpm/part/fpm_partitioner.hpp"
+#include "fpm/part/integer.hpp"
+#include "fpm/rt/process_group.hpp"
+
+namespace fpm::app {
+
+namespace {
+
+constexpr float kPivotFloor = 1e-6F;
+
+/// Solve L * X = B in place (L unit lower triangular, from a factorised
+/// diagonal block).
+void trsm_lower_left_unit(blas::ConstMatrixView<float> l,
+                          blas::MatrixView<float> b) {
+    const std::size_t n = l.rows();
+    for (std::size_t col = 0; col < b.cols(); ++col) {
+        for (std::size_t i = 0; i < n; ++i) {
+            float sum = b(i, col);
+            for (std::size_t k = 0; k < i; ++k) {
+                sum -= l(i, k) * b(k, col);
+            }
+            b(i, col) = sum;  // unit diagonal
+        }
+    }
+}
+
+/// Solve X * U = B in place (U upper triangular).
+void trsm_upper_right(blas::ConstMatrixView<float> u,
+                      blas::MatrixView<float> b) {
+    const std::size_t n = u.rows();
+    for (std::size_t row = 0; row < b.rows(); ++row) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float sum = b(row, j);
+            for (std::size_t k = 0; k < j; ++k) {
+                sum -= b(row, k) * u(k, j);
+            }
+            FPM_CHECK(std::fabs(u(j, j)) > kPivotFloor,
+                      "LU: near-zero pivot (matrix not diagonally dominant?)");
+            b(row, j) = sum / u(j, j);
+        }
+    }
+}
+
+} // namespace
+
+void lu_reference(blas::MatrixView<float> a) {
+    FPM_CHECK(a.rows() == a.cols(), "LU needs a square matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t k = 0; k < n; ++k) {
+        FPM_CHECK(std::fabs(a(k, k)) > kPivotFloor,
+                  "LU: near-zero pivot (matrix not diagonally dominant?)");
+        for (std::size_t i = k + 1; i < n; ++i) {
+            a(i, k) /= a(k, k);
+            const float lik = a(i, k);
+            for (std::size_t j = k + 1; j < n; ++j) {
+                a(i, j) -= lik * a(k, j);
+            }
+        }
+    }
+}
+
+LuReport lu_factor_blocked(blas::Matrix<float>& a, std::size_t block,
+                           std::span<const LuDevice> devices) {
+    FPM_CHECK(a.rows() == a.cols(), "LU needs a square matrix");
+    FPM_CHECK(block >= 1, "block size must be positive");
+    FPM_CHECK(a.rows() % block == 0, "matrix must be whole blocks");
+    FPM_CHECK(!devices.empty(), "need at least one device");
+    double weight_sum = 0.0;
+    for (const auto& device : devices) {
+        FPM_CHECK(device.weight > 0.0 && device.threads >= 1,
+                  "device weights and threads must be positive");
+        weight_sum += device.weight;
+    }
+
+    const std::size_t n = a.rows() / block;
+    LuReport report;
+    measure::WallTimer wall;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t k0 = k * block;
+        const std::size_t trailing = (n - k - 1) * block;
+
+        // --- serial critical path: panel factorisation + solves --------
+        measure::WallTimer panel_timer;
+        auto diag = a.block(k0, k0, block, block);
+        lu_reference(diag);
+        if (trailing > 0) {
+            trsm_lower_left_unit(blas::ConstMatrixView<float>(diag),
+                                 a.block(k0, k0 + block, block, trailing));
+            trsm_upper_right(blas::ConstMatrixView<float>(diag),
+                             a.block(k0 + block, k0, trailing, block));
+        }
+        report.panel_seconds += panel_timer.elapsed();
+        if (trailing == 0) {
+            break;
+        }
+
+        // --- parallel trailing update: row bands by weight --------------
+        // Largest-remainder split of the trailing rows.
+        const std::size_t p = devices.size();
+        std::vector<std::size_t> band(p, 0);
+        {
+            std::size_t assigned = 0;
+            std::vector<std::pair<double, std::size_t>> remainders;
+            for (std::size_t d = 0; d < p; ++d) {
+                const double exact =
+                    static_cast<double>(trailing) * devices[d].weight / weight_sum;
+                band[d] = static_cast<std::size_t>(exact);
+                assigned += band[d];
+                remainders.emplace_back(exact - std::floor(exact), d);
+            }
+            std::sort(remainders.begin(), remainders.end(),
+                      [](const auto& x, const auto& y) { return x.first > y.first; });
+            for (std::size_t extra = 0; extra < trailing - assigned; ++extra) {
+                band[remainders[extra].second] += 1;
+            }
+        }
+
+        measure::WallTimer update_timer;
+        rt::ProcessGroup group(p);
+        const auto l_panel = a.block(k0 + block, k0, trailing, block);
+        const auto u_panel = a.block(k0, k0 + block, block, trailing);
+        std::vector<std::size_t> begin(p);
+        {
+            std::size_t cursor = 0;
+            for (std::size_t d = 0; d < p; ++d) {
+                begin[d] = cursor;
+                cursor += band[d];
+            }
+        }
+        group.run([&](rt::ProcessContext& context) {
+            const std::size_t rank = context.rank();
+            if (band[rank] == 0) {
+                return;
+            }
+            auto c_band = a.block(k0 + block + begin[rank], k0 + block,
+                                  band[rank], trailing);
+            const auto l_band =
+                blas::ConstMatrixView<float>(l_panel).block(begin[rank], 0,
+                                                            band[rank], block);
+            blas::gemm_multithread<float>(l_band,
+                                          blas::ConstMatrixView<float>(u_panel),
+                                          c_band, devices[rank].threads, -1.0F);
+        });
+        report.update_seconds += update_timer.elapsed();
+        ++report.steps;
+    }
+
+    report.seconds = wall.elapsed();
+    return report;
+}
+
+blas::Matrix<float> lu_multiply_factors(const blas::Matrix<float>& factors) {
+    const std::size_t n = factors.rows();
+    FPM_CHECK(n == factors.cols(), "factors must be square");
+    blas::Matrix<float> product(n, n, 0.0F);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            // (L * U)(i, j) = sum_{k <= min(i, j)} L(i, k) * U(k, j) with
+            // L unit lower triangular and U upper triangular.
+            float sum = 0.0F;
+            for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+                const float l = (k < i) ? factors(i, k) : 1.0F;
+                sum += l * factors(k, j);
+            }
+            product(i, j) = sum;
+        }
+    }
+    return product;
+}
+
+LuSimResult lu_simulated_time(std::span<const core::SpeedFunction> models,
+                              std::int64_t n_blocks, bool fpm_partitioning) {
+    FPM_CHECK(!models.empty(), "need at least one device");
+    FPM_CHECK(n_blocks >= 1, "matrix size must be positive");
+
+    // The serial panel runs on the fastest device at small sizes.
+    double panel_rate = 0.0;
+    for (const auto& model : models) {
+        panel_rate = std::max(panel_rate, model.speed(std::min(
+                                              8.0, model.max_problem())));
+    }
+
+    LuSimResult result;
+    for (std::int64_t k = 0; k < n_blocks; ++k) {
+        const std::int64_t m = n_blocks - k - 1;
+        // Panel: one diagonal block + 2m panel blocks of work (getrf +
+        // the two triangular solves), serial.
+        result.panel_time += (1.0 + 2.0 * static_cast<double>(m)) / panel_rate;
+        if (m == 0) {
+            continue;
+        }
+        const double area = static_cast<double>(m) * static_cast<double>(m);
+        if (fpm_partitioning) {
+            const auto balanced = part::partition_fpm(models, area);
+            result.update_time += balanced.balanced_time;
+        } else {
+            // Homogeneous distribution: the slowest device dominates.
+            const double share = area / static_cast<double>(models.size());
+            double worst = 0.0;
+            for (const auto& model : models) {
+                worst = std::max(
+                    worst, model.time(std::min(share, model.max_problem())));
+            }
+            result.update_time += worst;
+        }
+    }
+    result.total_time = result.panel_time + result.update_time;
+    return result;
+}
+
+} // namespace fpm::app

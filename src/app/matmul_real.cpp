@@ -1,0 +1,113 @@
+#include "fpm/app/matmul_real.hpp"
+
+#include <memory>
+
+#include "fpm/blas/gemm.hpp"
+#include "fpm/measure/timer.hpp"
+#include "fpm/rt/process_group.hpp"
+
+namespace fpm::app {
+
+RealRunReport run_real_matmul(const part::ColumnLayout& layout,
+                              const std::vector<RealDevice>& devices,
+                              std::size_t block_size,
+                              blas::ConstMatrixView<float> a,
+                              blas::ConstMatrixView<float> b,
+                              blas::MatrixView<float> c) {
+    const std::size_t bsz = block_size;
+    const auto n = layout.n;
+    FPM_CHECK(devices.size() == layout.rects.size(),
+              "devices must match the layout");
+    const auto elems = static_cast<std::size_t>(n) * bsz;
+    FPM_CHECK(a.rows() == elems && a.cols() == elems, "A must be n*b square");
+    FPM_CHECK(b.rows() == elems && b.cols() == elems, "B must be n*b square");
+    FPM_CHECK(c.rows() == elems && c.cols() == elems, "C must be n*b square");
+
+    const std::size_t p = devices.size();
+    RealRunReport report;
+    report.device_compute_seconds.assign(p, 0.0);
+    report.gpu_traffic.assign(p, OocTraffic{});
+
+    // One out-of-core executor per GPU device, persisting residency across
+    // iterations (that is the whole point of the tail-reuse scheme).
+    std::vector<std::unique_ptr<HostOocExecutor>> executors(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        if (devices[i].is_gpu && layout.rects[i].area() > 0) {
+            executors[i] = std::make_unique<HostOocExecutor>(
+                bsz, devices[i].gpu_capacity_blocks, devices[i].gpu_version);
+        }
+    }
+
+    measure::WallTimer wall;
+    rt::ProcessGroup group(p);
+    // A rank that fails mid-iteration must keep participating in the
+    // remaining barriers — otherwise the surviving ranks deadlock.  The
+    // first failure is captured here and rethrown after the join.
+    std::exception_ptr rank_error;
+    std::mutex error_mutex;
+    group.run([&](rt::ProcessContext& context) {
+        const std::size_t rank = context.rank();
+        const part::Rect rect = layout.rects[rank];
+        double busy = 0.0;
+        bool failed = false;
+
+        for (std::int64_t k = 0; k < n; ++k) {
+            // Pivot column of A restricted to this device's rows; pivot
+            // row of B restricted to its columns (shared-memory views in
+            // place of the broadcast of Fig. 1a).
+            if (rect.area() > 0 && !failed) {
+                try {
+                    const auto row0 = static_cast<std::size_t>(rect.row0) * bsz;
+                    const auto col0 = static_cast<std::size_t>(rect.col0) * bsz;
+                    const auto h = static_cast<std::size_t>(rect.h) * bsz;
+                    const auto w = static_cast<std::size_t>(rect.w) * bsz;
+                    const auto kk = static_cast<std::size_t>(k) * bsz;
+
+                    const auto a_col = a.block(row0, kk, h, bsz);
+                    const auto b_row = b.block(kk, col0, bsz, w);
+                    auto c_rect = c.block(row0, col0, h, w);
+
+                    measure::WallTimer t;
+                    if (executors[rank]) {
+                        executors[rank]->invoke(a_col, b_row, c_rect);
+                    } else {
+                        blas::gemm_multithread<float>(a_col, b_row, c_rect,
+                                                      devices[rank].threads);
+                    }
+                    busy += t.elapsed();
+                } catch (...) {
+                    failed = true;
+                    std::lock_guard lock(error_mutex);
+                    if (!rank_error) {
+                        rank_error = std::current_exception();
+                    }
+                }
+            }
+            // The blocked algorithm synchronises between iterations (the
+            // next pivot depends on completed broadcasts).
+            context.barrier();
+        }
+
+        if (executors[rank] && !failed) {
+            const auto row0 = static_cast<std::size_t>(rect.row0) * bsz;
+            const auto col0 = static_cast<std::size_t>(rect.col0) * bsz;
+            executors[rank]->flush(c.block(row0, col0,
+                                           static_cast<std::size_t>(rect.h) * bsz,
+                                           static_cast<std::size_t>(rect.w) * bsz));
+        }
+        report.device_compute_seconds[rank] = busy;
+    });
+    if (rank_error) {
+        std::rethrow_exception(rank_error);
+    }
+
+    report.seconds = wall.elapsed();
+    for (std::size_t i = 0; i < p; ++i) {
+        if (executors[i]) {
+            report.gpu_traffic[i] = executors[i]->traffic();
+        }
+    }
+    return report;
+}
+
+} // namespace fpm::app

@@ -1,0 +1,149 @@
+#include "fpm/app/stencil.hpp"
+
+#include <numeric>
+#include <thread>
+
+#include "fpm/measure/timer.hpp"
+#include "fpm/rt/process_group.hpp"
+
+namespace fpm::app {
+
+void stencil_sweep(blas::ConstMatrixView<float> src, blas::MatrixView<float> dst,
+                   std::size_t row_begin, std::size_t row_end) {
+    FPM_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+              "stencil grids must have equal shapes");
+    FPM_CHECK(src.rows() >= 3 && src.cols() >= 3,
+              "stencil needs at least a 3x3 grid");
+    FPM_CHECK(row_begin >= 1 && row_end <= src.rows() - 1 && row_begin <= row_end,
+              "stencil band out of the interior");
+
+    const std::size_t cols = src.cols();
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+        for (std::size_t c = 1; c + 1 < cols; ++c) {
+            dst(r, c) = 0.2F * (src(r, c) + src(r - 1, c) + src(r + 1, c) +
+                                src(r, c - 1) + src(r, c + 1));
+        }
+    }
+}
+
+namespace {
+
+void copy_boundary(blas::ConstMatrixView<float> src, blas::MatrixView<float> dst) {
+    const std::size_t rows = src.rows();
+    const std::size_t cols = src.cols();
+    for (std::size_t c = 0; c < cols; ++c) {
+        dst(0, c) = src(0, c);
+        dst(rows - 1, c) = src(rows - 1, c);
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+        dst(r, 0) = src(r, 0);
+        dst(r, cols - 1) = src(r, cols - 1);
+    }
+}
+
+} // namespace
+
+void stencil_reference(blas::Matrix<float>& grid, int sweeps) {
+    FPM_CHECK(sweeps >= 0, "sweep count must be non-negative");
+    blas::Matrix<float> scratch(grid.rows(), grid.cols());
+    copy_boundary(grid.view(), scratch.view());
+    blas::Matrix<float>* src = &grid;
+    blas::Matrix<float>* dst = &scratch;
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+        stencil_sweep(src->view(), dst->view(), 1, grid.rows() - 1);
+        std::swap(src, dst);
+    }
+    if (src != &grid) {
+        // Odd number of sweeps: move the result back.
+        for (std::size_t r = 0; r < grid.rows(); ++r) {
+            for (std::size_t c = 0; c < grid.cols(); ++c) {
+                grid(r, c) = (*src)(r, c);
+            }
+        }
+    }
+}
+
+StencilRunReport run_real_stencil(std::span<const std::int64_t> rows_per_device,
+                                  std::span<const unsigned> threads,
+                                  blas::Matrix<float>& grid, int sweeps) {
+    FPM_CHECK(!rows_per_device.empty(), "need at least one device");
+    FPM_CHECK(rows_per_device.size() == threads.size(),
+              "rows and threads must match");
+    FPM_CHECK(sweeps >= 0, "sweep count must be non-negative");
+    FPM_CHECK(grid.rows() >= 3 && grid.cols() >= 3, "grid too small");
+    const std::int64_t interior = static_cast<std::int64_t>(grid.rows()) - 2;
+    FPM_CHECK(std::accumulate(rows_per_device.begin(), rows_per_device.end(),
+                              std::int64_t{0}) == interior,
+              "band rows must sum to the interior row count");
+
+    const std::size_t p = rows_per_device.size();
+    std::vector<std::size_t> band_begin(p);
+    std::size_t cursor = 1;
+    for (std::size_t i = 0; i < p; ++i) {
+        FPM_CHECK(rows_per_device[i] >= 0, "band sizes must be non-negative");
+        band_begin[i] = cursor;
+        cursor += static_cast<std::size_t>(rows_per_device[i]);
+    }
+
+    blas::Matrix<float> scratch(grid.rows(), grid.cols());
+    copy_boundary(grid.view(), scratch.view());
+
+    StencilRunReport report;
+    report.device_seconds.assign(p, 0.0);
+    measure::WallTimer wall;
+
+    rt::ProcessGroup group(p);
+    group.run([&](rt::ProcessContext& context) {
+        const std::size_t rank = context.rank();
+        const std::size_t begin = band_begin[rank];
+        const std::size_t end =
+            begin + static_cast<std::size_t>(rows_per_device[rank]);
+        double busy = 0.0;
+
+        blas::Matrix<float>* src = &grid;
+        blas::Matrix<float>* dst = &scratch;
+        for (int sweep = 0; sweep < sweeps; ++sweep) {
+            if (end > begin) {
+                measure::WallTimer timer;
+                const unsigned workers =
+                    std::max<unsigned>(1, threads[rank]);
+                if (workers == 1 || end - begin < 2 * workers) {
+                    stencil_sweep(src->view(), dst->view(), begin, end);
+                } else {
+                    // Split the band across the device's worker threads.
+                    std::vector<std::thread> pool;
+                    const std::size_t rows = end - begin;
+                    for (unsigned w = 0; w < workers; ++w) {
+                        const std::size_t lo = begin + rows * w / workers;
+                        const std::size_t hi = begin + rows * (w + 1) / workers;
+                        pool.emplace_back([&, lo, hi]() {
+                            stencil_sweep(src->view(), dst->view(), lo, hi);
+                        });
+                    }
+                    for (auto& t : pool) {
+                        t.join();
+                    }
+                }
+                busy += timer.elapsed();
+            }
+            // Halo synchronisation: every band must finish before anyone
+            // reads neighbour rows of the next sweep.
+            context.barrier();
+            std::swap(src, dst);
+        }
+        report.device_seconds[rank] = busy;
+    });
+
+    if (sweeps % 2 == 1) {
+        // Result lives in scratch; copy back.
+        for (std::size_t r = 0; r < grid.rows(); ++r) {
+            for (std::size_t c = 0; c < grid.cols(); ++c) {
+                grid(r, c) = scratch(r, c);
+            }
+        }
+    }
+    report.seconds = wall.elapsed();
+    return report;
+}
+
+} // namespace fpm::app

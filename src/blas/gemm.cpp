@@ -1,0 +1,179 @@
+#include "fpm/blas/gemm.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace fpm::blas {
+
+namespace {
+
+// Cache blocking parameters (bytes-agnostic; tuned for ~32 KiB L1 / 512 KiB L2).
+constexpr std::size_t kMC = 128;  // rows of A packed per panel
+constexpr std::size_t kKC = 256;  // depth of packed panels
+constexpr std::size_t kNC = 512;  // cols of B packed per panel
+constexpr std::size_t kMR = 4;    // micro-tile rows
+constexpr std::size_t kNR = 8;    // micro-tile cols
+
+// Packs a (rows x depth) block of A into row-panels of kMR rows:
+// panel-major, within a panel column-major over depth.
+template <typename T>
+void pack_a(ConstMatrixView<T> a, std::size_t r0, std::size_t k0, std::size_t rows,
+            std::size_t depth, T* buffer) {
+    for (std::size_t pr = 0; pr < rows; pr += kMR) {
+        const std::size_t mr = std::min(kMR, rows - pr);
+        for (std::size_t kk = 0; kk < depth; ++kk) {
+            for (std::size_t i = 0; i < kMR; ++i) {
+                *buffer++ = (i < mr) ? a(r0 + pr + i, k0 + kk) : T{0};
+            }
+        }
+    }
+}
+
+// Packs a (depth x cols) block of B into column-panels of kNR columns.
+template <typename T>
+void pack_b(ConstMatrixView<T> b, std::size_t k0, std::size_t c0, std::size_t depth,
+            std::size_t cols, T* buffer) {
+    for (std::size_t pc = 0; pc < cols; pc += kNR) {
+        const std::size_t nr = std::min(kNR, cols - pc);
+        for (std::size_t kk = 0; kk < depth; ++kk) {
+            for (std::size_t j = 0; j < kNR; ++j) {
+                *buffer++ = (j < nr) ? b(k0 + kk, c0 + pc + j) : T{0};
+            }
+        }
+    }
+}
+
+// kMR x kNR register micro-kernel over packed panels; plain loops that the
+// compiler auto-vectorises.  Accumulates into a local tile, then adds the
+// scaled tile into C (handles fringe via mr/nr bounds).
+template <typename T>
+void micro_kernel(const T* ap, const T* bp, std::size_t depth, T alpha,
+                  MatrixView<T> c, std::size_t r0, std::size_t c0, std::size_t mr,
+                  std::size_t nr) {
+    T acc[kMR][kNR] = {};
+    for (std::size_t kk = 0; kk < depth; ++kk) {
+        const T* arow = ap + kk * kMR;
+        const T* brow = bp + kk * kNR;
+        for (std::size_t i = 0; i < kMR; ++i) {
+            const T av = arow[i];
+            for (std::size_t j = 0; j < kNR; ++j) {
+                acc[i][j] += av * brow[j];
+            }
+        }
+    }
+    for (std::size_t i = 0; i < mr; ++i) {
+        for (std::size_t j = 0; j < nr; ++j) {
+            c(r0 + i, c0 + j) += alpha * acc[i][j];
+        }
+    }
+}
+
+template <typename T>
+void gemm_blocked_range(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                        T alpha, std::size_t row_begin, std::size_t row_end) {
+    const std::size_t k_total = a.cols();
+    const std::size_t n_total = c.cols();
+    if (row_begin >= row_end || k_total == 0 || n_total == 0) {
+        return;
+    }
+
+    std::vector<T> a_pack(kMC * kKC + kMR * kKC);
+    std::vector<T> b_pack(kKC * kNC + kKC * kNR);
+
+    for (std::size_t c0 = 0; c0 < n_total; c0 += kNC) {
+        const std::size_t nc = std::min(kNC, n_total - c0);
+        for (std::size_t k0 = 0; k0 < k_total; k0 += kKC) {
+            const std::size_t kc = std::min(kKC, k_total - k0);
+            pack_b(b, k0, c0, kc, nc, b_pack.data());
+            for (std::size_t r0 = row_begin; r0 < row_end; r0 += kMC) {
+                const std::size_t mc = std::min(kMC, row_end - r0);
+                pack_a(a, r0, k0, mc, kc, a_pack.data());
+                for (std::size_t pr = 0; pr < mc; pr += kMR) {
+                    const std::size_t mr = std::min(kMR, mc - pr);
+                    const T* ap = a_pack.data() + (pr / kMR) * (kc * kMR);
+                    for (std::size_t pc = 0; pc < nc; pc += kNR) {
+                        const std::size_t nr = std::min(kNR, nc - pc);
+                        const T* bp = b_pack.data() + (pc / kNR) * (kc * kNR);
+                        micro_kernel(ap, bp, kc, alpha, c, r0 + pr, c0 + pc, mr, nr);
+                    }
+                }
+            }
+        }
+    }
+}
+
+template <typename T>
+void check_shapes(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c) {
+    FPM_CHECK(a.rows() == c.rows(), "gemm: A.rows must equal C.rows");
+    FPM_CHECK(b.cols() == c.cols(), "gemm: B.cols must equal C.cols");
+    FPM_CHECK(a.cols() == b.rows(), "gemm: A.cols must equal B.rows");
+}
+
+} // namespace
+
+template <typename T>
+void gemm_naive(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c, T alpha) {
+    check_shapes(a, b, c);
+    for (std::size_t i = 0; i < c.rows(); ++i) {
+        for (std::size_t j = 0; j < c.cols(); ++j) {
+            T acc{};
+            for (std::size_t k = 0; k < a.cols(); ++k) {
+                acc += a(i, k) * b(k, j);
+            }
+            c(i, j) += alpha * acc;
+        }
+    }
+}
+
+template <typename T>
+void gemm(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c, T alpha) {
+    check_shapes(a, b, c);
+    gemm_blocked_range(a, b, c, alpha, 0, c.rows());
+}
+
+template <typename T>
+void gemm_multithread(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                      unsigned threads, T alpha) {
+    check_shapes(a, b, c);
+    FPM_CHECK(threads >= 1, "gemm_multithread: threads must be >= 1");
+    const std::size_t rows = c.rows();
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(rows, 1)));
+    if (workers <= 1) {
+        gemm_blocked_range(a, b, c, alpha, 0, rows);
+        return;
+    }
+
+    // Split rows into near-equal contiguous bands, one per worker.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t base = rows / workers;
+    const std::size_t extra = rows % workers;
+    std::size_t begin = 0;
+    for (unsigned w = 0; w < workers; ++w) {
+        const std::size_t len = base + (w < extra ? 1 : 0);
+        const std::size_t end = begin + len;
+        pool.emplace_back([=]() { gemm_blocked_range(a, b, c, alpha, begin, end); });
+        begin = end;
+    }
+    for (auto& t : pool) {
+        t.join();
+    }
+}
+
+template void gemm_naive<float>(ConstMatrixView<float>, ConstMatrixView<float>,
+                                MatrixView<float>, float);
+template void gemm_naive<double>(ConstMatrixView<double>, ConstMatrixView<double>,
+                                 MatrixView<double>, double);
+template void gemm<float>(ConstMatrixView<float>, ConstMatrixView<float>,
+                          MatrixView<float>, float);
+template void gemm<double>(ConstMatrixView<double>, ConstMatrixView<double>,
+                           MatrixView<double>, double);
+template void gemm_multithread<float>(ConstMatrixView<float>, ConstMatrixView<float>,
+                                      MatrixView<float>, unsigned, float);
+template void gemm_multithread<double>(ConstMatrixView<double>, ConstMatrixView<double>,
+                                       MatrixView<double>, unsigned, double);
+
+} // namespace fpm::blas

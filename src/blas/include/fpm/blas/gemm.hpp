@@ -1,0 +1,44 @@
+/// \file gemm.hpp
+/// \brief GEMM substrate: C += A * B on row-major views.
+///
+/// This replaces the vendor BLAS kernels the paper uses (ACML SGEMM on the
+/// CPU sockets, CUBLAS SGEMM on the GPUs) with a from-scratch implementation:
+///  - gemm_naive: triple-loop reference used as the correctness oracle;
+///  - gemm: cache-blocked, packed single-thread kernel (the "optimised
+///    kernel" whose speed function the FPM machinery measures);
+///  - gemm_multithread: row-partitioned multi-thread driver, modelling one
+///    socket executing the kernel "simultaneously on its cores".
+///
+/// All entry points compute C += alpha * A * B (accumulating, as in the
+/// paper's kernel Ci += A(b) x B(b)).
+#pragma once
+
+#include <cstddef>
+
+#include "fpm/blas/matrix.hpp"
+
+namespace fpm::blas {
+
+/// Reference implementation; O(m*n*k) triple loop, no blocking.
+template <typename T>
+void gemm_naive(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                T alpha = T{1});
+
+/// Cache-blocked packed GEMM (single thread).
+template <typename T>
+void gemm(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+          T alpha = T{1});
+
+/// Multi-threaded GEMM: rows of C are split across `threads` workers, each
+/// running the blocked kernel.  `threads == 1` falls back to gemm().
+template <typename T>
+void gemm_multithread(ConstMatrixView<T> a, ConstMatrixView<T> b, MatrixView<T> c,
+                      unsigned threads, T alpha = T{1});
+
+/// Flop count of C(m,n) += A(m,k) * B(k,n).
+constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+}
+
+} // namespace fpm::blas

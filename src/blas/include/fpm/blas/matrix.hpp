@@ -1,0 +1,157 @@
+/// \file matrix.hpp
+/// \brief Dense row-major matrix container and non-owning views.
+///
+/// The application layer partitions one global matrix into rectangles owned
+/// by different devices; MatrixView/ConstMatrixView express those rectangles
+/// without copying.  Storage is row-major with an explicit leading dimension
+/// (stride), mirroring the BLAS convention.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::blas {
+
+template <typename T>
+class Matrix;
+
+/// Non-owning mutable view over a rectangular region of a row-major matrix.
+template <typename T>
+class MatrixView {
+public:
+    MatrixView(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+        : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+        FPM_CHECK(stride >= cols, "stride must be >= cols");
+    }
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+    [[nodiscard]] T* data() const noexcept { return data_; }
+
+    T& operator()(std::size_t r, std::size_t c) const {
+        return data_[r * stride_ + c];
+    }
+
+    /// Sub-rectangle [r0, r0+nr) x [c0, c0+nc); bounds-checked.
+    [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                                   std::size_t nc) const {
+        FPM_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_, "block out of range");
+        return MatrixView(data_ + r0 * stride_ + c0, nr, nc, stride_);
+    }
+
+    void fill(T value) const {
+        for (std::size_t r = 0; r < rows_; ++r) {
+            for (std::size_t c = 0; c < cols_; ++c) {
+                (*this)(r, c) = value;
+            }
+        }
+    }
+
+private:
+    T* data_;
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t stride_;
+};
+
+/// Non-owning read-only view; see MatrixView.
+template <typename T>
+class ConstMatrixView {
+public:
+    ConstMatrixView(const T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+        : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+        FPM_CHECK(stride >= cols, "stride must be >= cols");
+    }
+
+    // Implicit widening from a mutable view.
+    ConstMatrixView(MatrixView<T> view)  // NOLINT(google-explicit-constructor)
+        : data_(view.data()), rows_(view.rows()), cols_(view.cols()),
+          stride_(view.stride()) {}
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+    [[nodiscard]] const T* data() const noexcept { return data_; }
+
+    const T& operator()(std::size_t r, std::size_t c) const {
+        return data_[r * stride_ + c];
+    }
+
+    [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                                        std::size_t nc) const {
+        FPM_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_, "block out of range");
+        return ConstMatrixView(data_ + r0 * stride_ + c0, nr, nc, stride_);
+    }
+
+private:
+    const T* data_;
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t stride_;
+};
+
+/// Owning dense row-major matrix.
+template <typename T>
+class Matrix {
+public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, T init = T{})
+        : rows_(rows), cols_(cols), storage_(rows * cols, init) {}
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+    [[nodiscard]] T* data() noexcept { return storage_.data(); }
+    [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+
+    T& operator()(std::size_t r, std::size_t c) {
+        return storage_[r * cols_ + c];
+    }
+    const T& operator()(std::size_t r, std::size_t c) const {
+        return storage_[r * cols_ + c];
+    }
+
+    [[nodiscard]] MatrixView<T> view() {
+        return MatrixView<T>(storage_.data(), rows_, cols_, cols_);
+    }
+    [[nodiscard]] ConstMatrixView<T> view() const {
+        return ConstMatrixView<T>(storage_.data(), rows_, cols_, cols_);
+    }
+    [[nodiscard]] MatrixView<T> block(std::size_t r0, std::size_t c0, std::size_t nr,
+                                      std::size_t nc) {
+        return view().block(r0, c0, nr, nc);
+    }
+    [[nodiscard]] ConstMatrixView<T> block(std::size_t r0, std::size_t c0,
+                                           std::size_t nr, std::size_t nc) const {
+        return view().block(r0, c0, nr, nc);
+    }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> storage_;
+};
+
+/// Max absolute element-wise difference between equally-shaped views.
+template <typename T>
+double max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+    FPM_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "max_abs_diff requires equal shapes");
+    double worst = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            const double d = std::abs(static_cast<double>(a(r, c)) -
+                                      static_cast<double>(b(r, c)));
+            if (d > worst) {
+                worst = d;
+            }
+        }
+    }
+    return worst;
+}
+
+} // namespace fpm::blas

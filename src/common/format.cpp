@@ -1,0 +1,64 @@
+#include "fpm/common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace fpm {
+
+std::string human_bytes(std::uint64_t bytes) {
+    static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[48];
+    if (unit == 0) {
+        std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+    }
+    return buf;
+}
+
+std::string fixed(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string gflops(double gigaflops_per_second) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f GF/s", gigaflops_per_second);
+    return buf;
+}
+
+std::string seconds(double secs) {
+    char buf[64];
+    if (secs < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.1f us", secs * 1e6);
+    } else if (secs < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", secs * 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f s", secs);
+    }
+    return buf;
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+    if (text.size() >= width) {
+        return text;
+    }
+    return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+    if (text.size() >= width) {
+        return text;
+    }
+    return text + std::string(width - text.size(), ' ');
+}
+
+} // namespace fpm

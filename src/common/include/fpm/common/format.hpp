@@ -1,0 +1,26 @@
+/// \file format.hpp
+/// \brief Small string-formatting helpers shared by benches and tracing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpm {
+
+/// Formats a byte count with a binary unit suffix, e.g. "1.50 GiB".
+std::string human_bytes(std::uint64_t bytes);
+
+/// Formats a floating-point value with a fixed number of decimals.
+std::string fixed(double value, int decimals = 2);
+
+/// Formats a rate in GFlop/s with one decimal, e.g. "951.2 GF/s".
+std::string gflops(double gigaflops_per_second);
+
+/// Formats a duration in seconds adaptively (us / ms / s).
+std::string seconds(double secs);
+
+/// Left/right pads a string with spaces to the requested width.
+std::string pad_left(const std::string& text, std::size_t width);
+std::string pad_right(const std::string& text, std::size_t width);
+
+} // namespace fpm

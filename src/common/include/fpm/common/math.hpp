@@ -1,0 +1,47 @@
+/// \file math.hpp
+/// \brief Small numeric helpers used across fpmpart.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm {
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+}
+
+/// Rounds `value` up to the next multiple of `multiple` (multiple > 0).
+constexpr std::int64_t round_up(std::int64_t value, std::int64_t multiple) {
+    return ceil_div(value, multiple) * multiple;
+}
+
+/// Rounds `value` down to the previous multiple of `multiple` (multiple > 0).
+constexpr std::int64_t round_down(std::int64_t value, std::int64_t multiple) {
+    return (value / multiple) * multiple;
+}
+
+/// Relative/absolute tolerance comparison for doubles.
+inline bool almost_equal(double a, double b, double rel = 1e-9, double abs = 1e-12) {
+    const double diff = std::fabs(a - b);
+    if (diff <= abs) {
+        return true;
+    }
+    return diff <= rel * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/// Linear interpolation between a and b at parameter t in [0, 1].
+constexpr double lerp(double a, double b, double t) {
+    return a + (b - a) * t;
+}
+
+/// GEMM flop count for an update of `area` b-by-b blocks with a pivot of
+/// width b: each element of C receives 2*b flops (b multiplies + b adds).
+inline double gemm_update_flops(double area_blocks, double block_size) {
+    return 2.0 * area_blocks * block_size * block_size * block_size;
+}
+
+} // namespace fpm

@@ -1,0 +1,92 @@
+#include "fpm/common/rng.hpp"
+
+#include <cmath>
+
+namespace fpm {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    if (lo >= hi) {
+        return lo;
+    }
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Rejection-free modulo is fine here: range << 2^64 for all our uses,
+    // so modulo bias is far below measurement noise.
+    return lo + static_cast<std::int64_t>((*this)() % range);
+}
+
+double Rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+}
+
+Rng Rng::split() noexcept {
+    return Rng((*this)());
+}
+
+} // namespace fpm

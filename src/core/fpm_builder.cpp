@@ -1,0 +1,101 @@
+#include "fpm/core/fpm_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "fpm/common/math.hpp"
+
+namespace fpm::core {
+
+namespace {
+
+double reliable_speed(KernelBenchmark& bench, double x,
+                      const measure::ReliabilityOptions& reliability) {
+    const auto result = measure::measure_until_reliable(
+        [&bench, x]() { return bench.run(x); }, reliability);
+    FPM_CHECK(result.summary.mean > 0.0, "kernel timing must be positive");
+    return x / result.summary.mean;
+}
+
+} // namespace
+
+SpeedFunction build_fpm(KernelBenchmark& bench, const FpmBuildOptions& options) {
+    FPM_CHECK(options.x_min > 0.0, "x_min must be positive");
+    FPM_CHECK(options.x_max > options.x_min, "x_max must exceed x_min");
+    FPM_CHECK(options.initial_points >= 2, "need at least two initial points");
+    FPM_CHECK(options.max_points >= options.initial_points,
+              "max_points must cover the initial grid");
+    FPM_CHECK(options.refine_tolerance > 0.0, "refine_tolerance must be positive");
+
+    const double x_max = std::min(options.x_max, bench.max_problem());
+    FPM_CHECK(x_max > options.x_min,
+              "device's maximum problem size is below the requested range");
+
+    // Initial grid.
+    std::vector<SpeedPoint> points;
+    points.reserve(options.max_points);
+    const std::size_t n0 = options.initial_points;
+    for (std::size_t i = 0; i < n0; ++i) {
+        const double f = static_cast<double>(i) / static_cast<double>(n0 - 1);
+        double x = 0.0;
+        if (options.geometric_grid) {
+            x = options.x_min * std::pow(x_max / options.x_min, f);
+        } else {
+            x = lerp(options.x_min, x_max, f);
+        }
+        points.push_back(SpeedPoint{x, reliable_speed(bench, x, options.reliability)});
+    }
+    std::sort(points.begin(), points.end(),
+              [](const SpeedPoint& a, const SpeedPoint& b) { return a.x < b.x; });
+
+    // Adaptive refinement: a work queue of segments to test.  A segment is
+    // refined when the midpoint speed deviates from the interpolation by
+    // more than the tolerance; both halves are then queued.
+    std::deque<std::pair<double, double>> queue;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+        queue.emplace_back(points[i].x, points[i + 1].x);
+    }
+
+    auto speed_at = [&points](double x) {
+        // Interpolate within the current point set (points stays sorted).
+        const auto upper = std::upper_bound(
+            points.begin(), points.end(), x,
+            [](double value, const SpeedPoint& p) { return value < p.x; });
+        if (upper == points.begin()) {
+            return points.front().speed;
+        }
+        if (upper == points.end()) {
+            return points.back().speed;
+        }
+        const auto lower = upper - 1;
+        const double f = (x - lower->x) / (upper->x - lower->x);
+        return lerp(lower->speed, upper->speed, f);
+    };
+
+    while (!queue.empty() && points.size() < options.max_points) {
+        const auto [lo, hi] = queue.front();
+        queue.pop_front();
+        const double mid = 0.5 * (lo + hi);
+        if (mid - lo < 0.5 || hi - mid < 0.5) {
+            continue;  // sub-block resolution reached
+        }
+        const double predicted = speed_at(mid);
+        const double measured = reliable_speed(bench, mid, options.reliability);
+        const double deviation =
+            std::fabs(measured - predicted) / std::max(measured, 1e-300);
+        if (deviation > options.refine_tolerance) {
+            points.push_back(SpeedPoint{mid, measured});
+            std::sort(points.begin(), points.end(),
+                      [](const SpeedPoint& a, const SpeedPoint& b) {
+                          return a.x < b.x;
+                      });
+            queue.emplace_back(lo, mid);
+            queue.emplace_back(mid, hi);
+        }
+    }
+
+    return SpeedFunction(std::move(points), bench.name(), bench.max_problem());
+}
+
+} // namespace fpm::core

@@ -1,0 +1,48 @@
+/// \file fpm_builder.hpp
+/// \brief Empirical construction of functional performance models.
+///
+/// Builds a SpeedFunction for a device by timing its kernel benchmark over
+/// a range of problem sizes.  Two placement strategies compose:
+///
+///  1. an initial grid (geometric by default, so small sizes — where
+///     speed changes fastest — are densely covered);
+///  2. adaptive bisection refinement: wherever linear interpolation
+///     between neighbouring measurements mispredicts the measured midpoint
+///     speed by more than `refine_tolerance`, a new point is inserted.
+///     This is what localises the GPU device-memory cliff of Fig. 3
+///     without an excessive point budget.
+///
+/// Every individual timing runs through the repeat-until-reliable loop of
+/// fpm::measure, mirroring the paper's measurement methodology.
+#pragma once
+
+#include <cstddef>
+
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/core/speed_function.hpp"
+#include "fpm/measure/reliable.hpp"
+
+namespace fpm::core {
+
+/// Options for build_fpm().
+struct FpmBuildOptions {
+    double x_min = 1.0;
+    double x_max = 1000.0;
+    std::size_t initial_points = 10;
+    bool geometric_grid = true;
+
+    /// Relative speed misprediction at a segment midpoint that triggers
+    /// refinement of that segment.
+    double refine_tolerance = 0.05;
+
+    /// Hard cap on the total number of measured points.
+    std::size_t max_points = 40;
+
+    measure::ReliabilityOptions reliability{};
+};
+
+/// Builds the FPM of `bench`; throws fpm::Error on inconsistent options.
+/// The returned function carries the benchmark's name and max_problem().
+SpeedFunction build_fpm(KernelBenchmark& bench, const FpmBuildOptions& options);
+
+} // namespace fpm::core

@@ -1,0 +1,96 @@
+/// \file kernel_bench.hpp
+/// \brief Kernel benchmark interface and its simulator / real adapters.
+///
+/// The FPM is built by timing the application's representative kernel
+/// (one blocked GEMM update) at a series of problem sizes.  This interface
+/// abstracts "run the kernel once at size x and return the elapsed time";
+/// the model builders and the reliability loop sit on top of it.
+///
+/// Three families of adapters are provided:
+///  - SimCpuKernelBench  : socket of the simulated hybrid node,
+///  - SimGpuKernelBench  : GPU (+ dedicated core) of the simulated node,
+///  - RealGemmKernelBench: actual in-process blocked GEMM, used to build
+///    FPMs of the host this library runs on.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "fpm/sim/node.hpp"
+
+namespace fpm::core {
+
+/// One timed kernel invocation at problem size x (area in blocks).
+class KernelBenchmark {
+public:
+    virtual ~KernelBenchmark() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Runs the kernel once with a Ci of ~x blocks; returns seconds.
+    virtual double run(double x) = 0;
+
+    /// Largest feasible problem size (infinity when unbounded).
+    [[nodiscard]] virtual double max_problem() const {
+        return std::numeric_limits<double>::infinity();
+    }
+};
+
+/// Benchmarks the ACML-like kernel on `active_cores` cores of one socket
+/// of a simulated hybrid node.
+class SimCpuKernelBench final : public KernelBenchmark {
+public:
+    SimCpuKernelBench(sim::HybridNode& node, std::size_t socket,
+                      unsigned active_cores, bool gpu_coactive = false);
+
+    [[nodiscard]] std::string name() const override;
+    double run(double x) override;
+
+private:
+    sim::HybridNode& node_;
+    std::size_t socket_;
+    unsigned active_cores_;
+    bool gpu_coactive_;
+};
+
+/// Benchmarks the CUBLAS-like kernel (a given out-of-core version) on one
+/// GPU of a simulated hybrid node.
+class SimGpuKernelBench final : public KernelBenchmark {
+public:
+    SimGpuKernelBench(sim::HybridNode& node, std::size_t gpu,
+                      sim::KernelVersion version, unsigned coactive_cpu_cores = 0);
+
+    [[nodiscard]] std::string name() const override;
+    double run(double x) override;
+
+    /// Versions 1 and 2 without out-of-core tiling would be bounded by the
+    /// device memory; our v1/v2 implement tiling, so only a degenerate
+    /// sub-block problem is infeasible.  Version selection still changes
+    /// the *speed*, which is the effect the paper studies.
+    [[nodiscard]] double max_problem() const override;
+
+private:
+    sim::HybridNode& node_;
+    std::size_t gpu_;
+    sim::KernelVersion version_;
+    unsigned coactive_cpu_cores_;
+};
+
+/// Benchmarks the real in-process blocked GEMM: Ci += A(b) x B(b) with Ci
+/// of ~x blocks of size b, run on `threads` threads.
+class RealGemmKernelBench final : public KernelBenchmark {
+public:
+    RealGemmKernelBench(std::size_t block_size, unsigned threads,
+                        std::uint64_t seed = 7);
+
+    [[nodiscard]] std::string name() const override;
+    double run(double x) override;
+
+private:
+    std::size_t block_size_;
+    unsigned threads_;
+    std::uint64_t seed_;
+};
+
+} // namespace fpm::core

@@ -1,0 +1,32 @@
+/// \file model_io.hpp
+/// \brief Persistence of functional performance models.
+///
+/// Models are expensive to build (they time real kernels with a
+/// reliability loop), so deployments build them once and reuse them — the
+/// workflow of the authors' fupermod tooling.  The on-disk format is a
+/// plain CSV, one measured point per row:
+///
+///     name,max_problem,x,speed
+///
+/// `max_problem` is the literal string `inf` for unbounded devices.
+/// Points of one model must be contiguous; models appear in file order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpm/core/speed_function.hpp"
+
+namespace fpm::core {
+
+/// Writes the models to `path` (truncates).  Throws fpm::Error on I/O
+/// failure or empty input.
+void save_speed_functions_csv(const std::string& path,
+                              const std::vector<SpeedFunction>& models);
+
+/// Reads models back; validates the schema and the per-model invariants
+/// (via the SpeedFunction constructor).  Throws fpm::Error on malformed
+/// input.
+std::vector<SpeedFunction> load_speed_functions_csv(const std::string& path);
+
+} // namespace fpm::core

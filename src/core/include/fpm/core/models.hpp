@@ -1,0 +1,66 @@
+/// \file models.hpp
+/// \brief Baseline performance models: constant (CPM) and linear (LPM).
+///
+/// The paper compares FPM-based partitioning against the *constant
+/// performance model* used by earlier hybrid systems (refs [1], [2]):
+/// a single positive number per device, obtained in advance from a
+/// measurement at some fixed workload.  Refs [3], [4] approximate the
+/// execution time by linear functions of problem size; LinearModel
+/// implements that family (t(x) = alpha + beta * x, least-squares fit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/core/speed_function.hpp"
+#include "fpm/measure/reliable.hpp"
+
+namespace fpm::core {
+
+/// Constant performance model: one speed number (blocks/second).
+struct ConstantModel {
+    double speed = 0.0;
+    std::string name;
+
+    [[nodiscard]] double time(double x) const { return x / speed; }
+    [[nodiscard]] SpeedFunction to_speed_function() const {
+        return SpeedFunction::constant(speed, name);
+    }
+};
+
+/// Linear execution-time model: t(x) = alpha + beta * x.
+struct LinearModel {
+    double alpha = 0.0;  ///< fixed overhead, seconds
+    double beta = 0.0;   ///< seconds per block
+    std::string name;
+
+    [[nodiscard]] double time(double x) const { return alpha + beta * x; }
+    [[nodiscard]] double speed(double x) const { return x / time(x); }
+
+    /// Piecewise-linear sampling of the implied speed function so the
+    /// generic FPM partitioner can consume the model.
+    [[nodiscard]] SpeedFunction to_speed_function(double x_min, double x_max,
+                                                  std::size_t points = 32) const;
+};
+
+/// Builds a CPM by timing the kernel at one reference size `x_ref`
+/// (repeated until statistically reliable).
+ConstantModel build_cpm(KernelBenchmark& bench, double x_ref,
+                        const measure::ReliabilityOptions& reliability = {});
+
+/// Builds CPMs for a set of devices the way the paper describes for the
+/// traditional approach: "from the speed measurements when some workload
+/// is distributed evenly between the processors" — every device is timed
+/// at x = total / devices.
+std::vector<ConstantModel> build_cpm_even_share(
+    const std::vector<KernelBenchmark*>& benches, double total_area,
+    const measure::ReliabilityOptions& reliability = {});
+
+/// Least-squares fit of t(x) = alpha + beta * x over `xs` (ref [3] style).
+/// alpha is clamped at zero if the fit turns negative (overheads cannot be
+/// negative).
+LinearModel build_lpm(KernelBenchmark& bench, const std::vector<double>& xs,
+                      const measure::ReliabilityOptions& reliability = {});
+
+} // namespace fpm::core

@@ -1,0 +1,56 @@
+/// \file roofline.hpp
+/// \brief The Roofline model (Williams, Waterman & Patterson — the
+///        paper's ref [7]).
+///
+/// The paper discusses the Roofline as the classic *analytical*
+/// alternative to empirical functional performance models: it bounds
+/// attainable throughput by min(peak, intensity x bandwidth).  This
+/// small utility lets the examples and docs put a device's FPM next to
+/// its roofline — and shows why the FPM carries information the roofline
+/// cannot (problem-size dependence, memory cliffs, contention).
+#pragma once
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::core {
+
+/// One device's roofline: a peak compute rate and a memory bandwidth.
+struct Roofline {
+    double peak_gflops = 0.0;
+    double memory_bandwidth_gbs = 0.0;
+
+    /// Attainable throughput (GFlop/s) at the given arithmetic intensity
+    /// (flops per byte moved to/from memory).
+    [[nodiscard]] double attainable_gflops(double intensity) const {
+        FPM_CHECK(intensity > 0.0, "arithmetic intensity must be positive");
+        FPM_CHECK(peak_gflops > 0.0 && memory_bandwidth_gbs > 0.0,
+                  "roofline parameters must be positive");
+        const double bandwidth_bound = intensity * memory_bandwidth_gbs;
+        return bandwidth_bound < peak_gflops ? bandwidth_bound : peak_gflops;
+    }
+
+    /// The ridge point: the intensity at which the device becomes
+    /// compute-bound.
+    [[nodiscard]] double machine_balance() const {
+        FPM_CHECK(peak_gflops > 0.0 && memory_bandwidth_gbs > 0.0,
+                  "roofline parameters must be positive");
+        return peak_gflops / memory_bandwidth_gbs;
+    }
+
+    /// Whether a kernel of the given intensity is memory-bound here.
+    [[nodiscard]] bool memory_bound(double intensity) const {
+        return intensity < machine_balance();
+    }
+};
+
+/// Arithmetic intensity of a GEMM C(m,n) += A(m,k) * B(k,n) assuming each
+/// operand is moved once (the blocked-kernel ideal): 2mnk flops over
+/// (mk + kn + 2mn) * element_bytes bytes.
+double gemm_intensity(double m, double n, double k, double element_bytes);
+
+/// Intensity of the application kernel: a rank-b update of `area` blocks
+/// of size b (the paper's Ci += A(b) x B(b)).
+double kernel_update_intensity(double area_blocks, double block_size,
+                               double element_bytes);
+
+} // namespace fpm::core

@@ -1,0 +1,73 @@
+/// \file speed_surface.hpp
+/// \brief Two-parameter functional performance models.
+///
+/// The paper defines the problem size as "a set of parameters
+/// characterizing the amount and layout of data"; the 1-D SpeedFunction
+/// covers the common case where one scalar (area, rows) suffices.  When a
+/// device's speed genuinely depends on the *shape* of its piece — e.g. a
+/// GPU whose pivot-row traffic and out-of-core chunking follow the
+/// rectangle's width — a two-parameter model s(w, h) captures what any
+/// area-only model must average away.
+///
+/// SpeedSurface stores speeds on a rectangular grid of (width, height)
+/// sample points with bilinear interpolation and clamped extrapolation,
+/// and adapts directly to the shape oracle of the iterative partitioner.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::core {
+
+/// See file comment.  Speeds are in work units (e.g. blocks) per second
+/// for a piece of w x h units.
+class SpeedSurface {
+public:
+    /// `speeds[j * widths.size() + i]` is the speed at (widths[i],
+    /// heights[j]).  Axes must be strictly increasing and positive;
+    /// speeds positive.
+    SpeedSurface(std::vector<double> widths, std::vector<double> heights,
+                 std::vector<double> speeds, std::string name = {});
+
+    /// Builds a surface by timing a kernel at every grid point:
+    /// `kernel_time(w, h)` returns the seconds of one invocation on a
+    /// w x h piece; the stored speed is (w * h) / time.
+    static SpeedSurface build(
+        const std::function<double(double w, double h)>& kernel_time,
+        std::vector<double> widths, std::vector<double> heights,
+        std::string name = {});
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<double>& widths() const noexcept {
+        return widths_;
+    }
+    [[nodiscard]] const std::vector<double>& heights() const noexcept {
+        return heights_;
+    }
+
+    /// Bilinearly interpolated speed at (w, h), clamped outside the grid.
+    [[nodiscard]] double speed(double w, double h) const;
+
+    /// Execution time of a w x h piece: (w * h) / speed(w, h).
+    [[nodiscard]] double time(double w, double h) const;
+
+    /// The area-only shadow of the surface: the speed at the most square
+    /// shape of a given area (what a 1-D FPM built from near-square
+    /// benchmarks sees).
+    [[nodiscard]] double square_speed(double area) const;
+
+private:
+    std::vector<double> widths_;
+    std::vector<double> heights_;
+    std::vector<double> speeds_;  // heights-major
+    std::string name_;
+
+    [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+        return speeds_[j * widths_.size() + i];
+    }
+};
+
+} // namespace fpm::core

@@ -1,0 +1,60 @@
+/// \file stencil_bench.hpp
+/// \brief Kernel-benchmark adapters for the stencil application family.
+///
+/// Same pattern as the GEMM adapters in kernel_bench.hpp, but the problem
+/// size x is the number of grid *rows* and the kernel is one Jacobi
+/// sweep.  The FPM machinery is unit-agnostic, so everything downstream
+/// (builders, partitioners) works unchanged — exactly the generality the
+/// paper claims for functional performance models.
+#pragma once
+
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/sim/stencil_model.hpp"
+
+namespace fpm::core {
+
+/// One simulated stencil sweep on `active_cores` cores of a socket.
+class SimCpuStencilBench final : public KernelBenchmark {
+public:
+    SimCpuStencilBench(sim::HybridNode& node, std::size_t socket,
+                       unsigned active_cores, sim::StencilSpec spec = {});
+
+    [[nodiscard]] std::string name() const override;
+    double run(double x) override;
+
+private:
+    sim::HybridNode& node_;
+    std::size_t socket_;
+    unsigned active_cores_;
+    sim::StencilSpec spec_;
+};
+
+/// One simulated stencil sweep on a GPU (+ dedicated core).
+class SimGpuStencilBench final : public KernelBenchmark {
+public:
+    SimGpuStencilBench(sim::HybridNode& node, std::size_t gpu,
+                       sim::StencilSpec spec = {});
+
+    [[nodiscard]] std::string name() const override;
+    double run(double x) override;
+
+private:
+    sim::HybridNode& node_;
+    std::size_t gpu_;
+    sim::StencilSpec spec_;
+};
+
+/// One real in-process sweep over x rows (used to model this host).
+class RealStencilBench final : public KernelBenchmark {
+public:
+    explicit RealStencilBench(std::size_t cols, unsigned threads = 1);
+
+    [[nodiscard]] std::string name() const override;
+    double run(double x) override;
+
+private:
+    std::size_t cols_;
+    unsigned threads_;
+};
+
+} // namespace fpm::core

@@ -1,0 +1,108 @@
+#include "fpm/core/kernel_bench.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "fpm/blas/gemm.hpp"
+#include "fpm/common/rng.hpp"
+#include "fpm/measure/timer.hpp"
+
+namespace fpm::core {
+
+SimCpuKernelBench::SimCpuKernelBench(sim::HybridNode& node, std::size_t socket,
+                                     unsigned active_cores, bool gpu_coactive)
+    : node_(node), socket_(socket), active_cores_(active_cores),
+      gpu_coactive_(gpu_coactive) {
+    FPM_CHECK(socket < node.socket_count(), "socket index out of range");
+    FPM_CHECK(active_cores >= 1 &&
+                  active_cores <= node.spec().sockets[socket].cores,
+              "active core count out of range");
+}
+
+std::string SimCpuKernelBench::name() const {
+    std::ostringstream os;
+    os << "socket" << socket_ << "/s" << active_cores_;
+    if (gpu_coactive_) {
+        os << "+gpu";
+    }
+    return os.str();
+}
+
+double SimCpuKernelBench::run(double x) {
+    return node_.measure_cpu_kernel(socket_, active_cores_, x, gpu_coactive_);
+}
+
+SimGpuKernelBench::SimGpuKernelBench(sim::HybridNode& node, std::size_t gpu,
+                                     sim::KernelVersion version,
+                                     unsigned coactive_cpu_cores)
+    : node_(node), gpu_(gpu), version_(version),
+      coactive_cpu_cores_(coactive_cpu_cores) {
+    FPM_CHECK(gpu < node.gpu_count(), "GPU index out of range");
+}
+
+std::string SimGpuKernelBench::name() const {
+    std::ostringstream os;
+    os << node_.gpu_model(gpu_).spec().name << "/" << sim::to_string(version_);
+    if (coactive_cpu_cores_ > 0) {
+        os << "+" << coactive_cpu_cores_ << "cores";
+    }
+    return os.str();
+}
+
+double SimGpuKernelBench::run(double x) {
+    return node_.measure_gpu_kernel(gpu_, x, version_, coactive_cpu_cores_);
+}
+
+double SimGpuKernelBench::max_problem() const {
+    return std::numeric_limits<double>::infinity();
+}
+
+RealGemmKernelBench::RealGemmKernelBench(std::size_t block_size, unsigned threads,
+                                         std::uint64_t seed)
+    : block_size_(block_size), threads_(threads), seed_(seed) {
+    FPM_CHECK(block_size >= 1, "block size must be positive");
+    FPM_CHECK(threads >= 1, "thread count must be positive");
+}
+
+std::string RealGemmKernelBench::name() const {
+    std::ostringstream os;
+    os << "real-gemm/b" << block_size_ << "/t" << threads_;
+    return os.str();
+}
+
+double RealGemmKernelBench::run(double x) {
+    FPM_CHECK(x >= 1.0, "problem size must be at least one block");
+    const auto w = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::sqrt(x))));
+    const auto h = static_cast<std::size_t>(
+        std::ceil(x / static_cast<double>(w)));
+    const std::size_t b = block_size_;
+
+    // Ci (h*b x w*b) += A(b) (h*b x b) * B(b) (b x w*b): exactly the
+    // paper's representative kernel (Fig. 1b).
+    blas::Matrix<float> a(h * b, b);
+    blas::Matrix<float> bm(b, w * b);
+    blas::Matrix<float> c(h * b, w * b);
+
+    Rng rng(seed_);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            a(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+    }
+    for (std::size_t i = 0; i < bm.rows(); ++i) {
+        for (std::size_t j = 0; j < bm.cols(); ++j) {
+            bm(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+    }
+
+    measure::WallTimer timer;
+    blas::gemm_multithread<float>(a.view(), bm.view(), c.view(), threads_);
+    const double elapsed = timer.elapsed();
+
+    // Normalise to the requested (possibly fractional) area.
+    const double actual_area = static_cast<double>(w) * static_cast<double>(h);
+    return elapsed * (x / actual_area);
+}
+
+} // namespace fpm::core

@@ -1,0 +1,103 @@
+#include "fpm/core/model_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace fpm::core {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream stream(line);
+    while (std::getline(stream, cell, ',')) {
+        cells.push_back(cell);
+    }
+    return cells;
+}
+
+} // namespace
+
+void save_speed_functions_csv(const std::string& path,
+                              const std::vector<SpeedFunction>& models) {
+    FPM_CHECK(!models.empty(), "nothing to save");
+    std::ofstream out(path);
+    FPM_CHECK(out.good(), "cannot open model file for writing: " + path);
+
+    out << "name,max_problem,x,speed\n";
+    for (const auto& model : models) {
+        FPM_CHECK(model.name().find(',') == std::string::npos,
+                  "model names must not contain commas");
+        for (const auto& point : model.points()) {
+            out << model.name() << ',';
+            if (std::isfinite(model.max_problem())) {
+                out << model.max_problem();
+            } else {
+                out << "inf";
+            }
+            out << ',' << point.x << ',' << point.speed << '\n';
+        }
+    }
+    FPM_CHECK(out.good(), "write failed: " + path);
+}
+
+std::vector<SpeedFunction> load_speed_functions_csv(const std::string& path) {
+    std::ifstream in(path);
+    FPM_CHECK(in.good(), "cannot open model file: " + path);
+
+    std::string line;
+    FPM_CHECK(static_cast<bool>(std::getline(in, line)),
+              "model file is empty: " + path);
+    FPM_CHECK(line == "name,max_problem,x,speed",
+              "unexpected model file header: " + line);
+
+    std::vector<SpeedFunction> models;
+    std::string current_name;
+    double current_max = std::numeric_limits<double>::infinity();
+    std::vector<SpeedPoint> current_points;
+
+    auto flush = [&]() {
+        if (!current_points.empty()) {
+            models.emplace_back(std::move(current_points), current_name,
+                                current_max);
+            current_points = {};
+        }
+    };
+
+    std::size_t line_number = 1;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty()) {
+            continue;
+        }
+        const auto cells = split_csv_line(line);
+        FPM_CHECK(cells.size() == 4,
+                  "malformed model row at line " + std::to_string(line_number));
+
+        const std::string& name = cells[0];
+        if (name != current_name || current_points.empty()) {
+            if (name != current_name) {
+                flush();
+            }
+            current_name = name;
+            current_max = (cells[1] == "inf")
+                              ? std::numeric_limits<double>::infinity()
+                              : std::stod(cells[1]);
+        }
+        try {
+            current_points.push_back(
+                SpeedPoint{std::stod(cells[2]), std::stod(cells[3])});
+        } catch (const std::exception&) {
+            throw Error("non-numeric model row at line " +
+                        std::to_string(line_number));
+        }
+    }
+    flush();
+    FPM_CHECK(!models.empty(), "model file holds no points: " + path);
+    return models;
+}
+
+} // namespace fpm::core

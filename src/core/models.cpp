@@ -1,0 +1,95 @@
+#include "fpm/core/models.hpp"
+
+#include <cmath>
+
+#include "fpm/common/math.hpp"
+
+namespace fpm::core {
+
+SpeedFunction LinearModel::to_speed_function(double x_min, double x_max,
+                                             std::size_t points) const {
+    FPM_CHECK(x_min > 0.0 && x_max > x_min, "invalid sampling range");
+    FPM_CHECK(points >= 2, "need at least two sample points");
+    std::vector<SpeedPoint> pts;
+    pts.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+        const double x = lerp(x_min, x_max, f);
+        pts.push_back(SpeedPoint{x, speed(x)});
+    }
+    return SpeedFunction(std::move(pts), name);
+}
+
+namespace {
+
+double reliable_time(KernelBenchmark& bench, double x,
+                     const measure::ReliabilityOptions& reliability) {
+    const auto result = measure::measure_until_reliable(
+        [&bench, x]() { return bench.run(x); }, reliability);
+    return result.summary.mean;
+}
+
+} // namespace
+
+ConstantModel build_cpm(KernelBenchmark& bench, double x_ref,
+                        const measure::ReliabilityOptions& reliability) {
+    FPM_CHECK(x_ref > 0.0, "reference problem size must be positive");
+    FPM_CHECK(x_ref <= bench.max_problem(),
+              "reference problem size exceeds the device's maximum");
+    const double t = reliable_time(bench, x_ref, reliability);
+    ConstantModel model;
+    model.speed = x_ref / t;
+    model.name = bench.name();
+    return model;
+}
+
+std::vector<ConstantModel> build_cpm_even_share(
+    const std::vector<KernelBenchmark*>& benches, double total_area,
+    const measure::ReliabilityOptions& reliability) {
+    FPM_CHECK(!benches.empty(), "need at least one device");
+    FPM_CHECK(total_area > 0.0, "total area must be positive");
+    const double share = total_area / static_cast<double>(benches.size());
+    std::vector<ConstantModel> models;
+    models.reserve(benches.size());
+    for (KernelBenchmark* bench : benches) {
+        FPM_CHECK(bench != nullptr, "null benchmark");
+        models.push_back(build_cpm(*bench, std::min(share, bench->max_problem()),
+                                   reliability));
+    }
+    return models;
+}
+
+LinearModel build_lpm(KernelBenchmark& bench, const std::vector<double>& xs,
+                      const measure::ReliabilityOptions& reliability) {
+    FPM_CHECK(xs.size() >= 2, "linear fit needs at least two sizes");
+
+    double sum_x = 0.0;
+    double sum_t = 0.0;
+    double sum_xx = 0.0;
+    double sum_xt = 0.0;
+    for (const double x : xs) {
+        FPM_CHECK(x > 0.0, "problem sizes must be positive");
+        const double t = reliable_time(bench, x, reliability);
+        sum_x += x;
+        sum_t += t;
+        sum_xx += x * x;
+        sum_xt += x * t;
+    }
+    const double n = static_cast<double>(xs.size());
+    const double denom = n * sum_xx - sum_x * sum_x;
+    FPM_CHECK(std::fabs(denom) > 1e-30, "degenerate sample set for linear fit");
+
+    LinearModel model;
+    model.beta = (n * sum_xt - sum_x * sum_t) / denom;
+    model.alpha = (sum_t - model.beta * sum_x) / n;
+    model.name = bench.name();
+    FPM_CHECK(model.beta > 0.0,
+              "linear fit produced non-increasing time; the device timings "
+              "are not usable for an LPM");
+    if (model.alpha < 0.0) {
+        model.alpha = 0.0;
+    }
+    return model;
+}
+
+} // namespace fpm::core

@@ -1,0 +1,27 @@
+#include "fpm/core/roofline.hpp"
+
+#include <cmath>
+
+namespace fpm::core {
+
+double gemm_intensity(double m, double n, double k, double element_bytes) {
+    FPM_CHECK(m > 0.0 && n > 0.0 && k > 0.0, "GEMM dimensions must be positive");
+    FPM_CHECK(element_bytes > 0.0, "element size must be positive");
+    const double flops = 2.0 * m * n * k;
+    const double bytes = (m * k + k * n + 2.0 * m * n) * element_bytes;
+    return flops / bytes;
+}
+
+double kernel_update_intensity(double area_blocks, double block_size,
+                               double element_bytes) {
+    FPM_CHECK(area_blocks > 0.0, "area must be positive");
+    FPM_CHECK(block_size > 0.0, "block size must be positive");
+    // Ci of `area` b-by-b blocks (near-square w = h = sqrt(area)):
+    // C(m=h*b, n=w*b) += A(m, b) * B(b, n).
+    const double side = std::sqrt(area_blocks);
+    const double m = side * block_size;
+    const double n = side * block_size;
+    return gemm_intensity(m, n, block_size, element_bytes);
+}
+
+} // namespace fpm::core

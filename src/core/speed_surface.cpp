@@ -1,0 +1,95 @@
+#include "fpm/core/speed_surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fpm/common/math.hpp"
+
+namespace fpm::core {
+
+namespace {
+
+/// Index of the grid cell containing `value` and the interpolation
+/// fraction within it, with clamping at both ends.
+std::pair<std::size_t, double> locate(const std::vector<double>& axis,
+                                      double value) {
+    if (value <= axis.front()) {
+        return {0, 0.0};
+    }
+    if (value >= axis.back()) {
+        return {axis.size() - 2, 1.0};
+    }
+    const auto upper = std::upper_bound(axis.begin(), axis.end(), value);
+    const std::size_t hi = static_cast<std::size_t>(upper - axis.begin());
+    const std::size_t lo = hi - 1;
+    return {lo, (value - axis[lo]) / (axis[hi] - axis[lo])};
+}
+
+} // namespace
+
+SpeedSurface::SpeedSurface(std::vector<double> widths, std::vector<double> heights,
+                           std::vector<double> speeds, std::string name)
+    : widths_(std::move(widths)), heights_(std::move(heights)),
+      speeds_(std::move(speeds)), name_(std::move(name)) {
+    FPM_CHECK(widths_.size() >= 2 && heights_.size() >= 2,
+              "surface needs at least a 2x2 grid");
+    FPM_CHECK(speeds_.size() == widths_.size() * heights_.size(),
+              "speed grid size must match the axes");
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+        FPM_CHECK(widths_[i] > 0.0, "axis values must be positive");
+        if (i > 0) {
+            FPM_CHECK(widths_[i] > widths_[i - 1],
+                      "axes must be strictly increasing");
+        }
+    }
+    for (std::size_t j = 0; j < heights_.size(); ++j) {
+        FPM_CHECK(heights_[j] > 0.0, "axis values must be positive");
+        if (j > 0) {
+            FPM_CHECK(heights_[j] > heights_[j - 1],
+                      "axes must be strictly increasing");
+        }
+    }
+    for (const double s : speeds_) {
+        FPM_CHECK(s > 0.0, "speeds must be positive");
+    }
+}
+
+SpeedSurface SpeedSurface::build(
+    const std::function<double(double w, double h)>& kernel_time,
+    std::vector<double> widths, std::vector<double> heights, std::string name) {
+    FPM_CHECK(static_cast<bool>(kernel_time), "need a kernel timer");
+    FPM_CHECK(widths.size() >= 2 && heights.size() >= 2,
+              "surface needs at least a 2x2 grid");
+    std::vector<double> speeds;
+    speeds.reserve(widths.size() * heights.size());
+    for (const double h : heights) {
+        for (const double w : widths) {
+            const double t = kernel_time(w, h);
+            FPM_CHECK(t > 0.0, "kernel time must be positive");
+            speeds.push_back(w * h / t);
+        }
+    }
+    return SpeedSurface(std::move(widths), std::move(heights), std::move(speeds),
+                        std::move(name));
+}
+
+double SpeedSurface::speed(double w, double h) const {
+    FPM_CHECK(w > 0.0 && h > 0.0, "piece dimensions must be positive");
+    const auto [i, fw] = locate(widths_, w);
+    const auto [j, fh] = locate(heights_, h);
+    const double bottom = lerp(at(i, j), at(i + 1, j), fw);
+    const double top = lerp(at(i, j + 1), at(i + 1, j + 1), fw);
+    return lerp(bottom, top, fh);
+}
+
+double SpeedSurface::time(double w, double h) const {
+    return (w * h) / speed(w, h);
+}
+
+double SpeedSurface::square_speed(double area) const {
+    FPM_CHECK(area > 0.0, "area must be positive");
+    const double side = std::sqrt(area);
+    return speed(side, side);
+}
+
+} // namespace fpm::core

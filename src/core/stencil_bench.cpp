@@ -1,0 +1,99 @@
+#include "fpm/core/stencil_bench.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fpm/blas/matrix.hpp"
+#include "fpm/measure/timer.hpp"
+
+namespace fpm::core {
+
+SimCpuStencilBench::SimCpuStencilBench(sim::HybridNode& node, std::size_t socket,
+                                       unsigned active_cores,
+                                       sim::StencilSpec spec)
+    : node_(node), socket_(socket), active_cores_(active_cores), spec_(spec) {
+    FPM_CHECK(socket < node.socket_count(), "socket index out of range");
+}
+
+std::string SimCpuStencilBench::name() const {
+    std::ostringstream os;
+    os << "stencil/socket" << socket_ << "/s" << active_cores_;
+    return os.str();
+}
+
+double SimCpuStencilBench::run(double x) {
+    return sim::stencil_cpu_sweep_time(node_, socket_, active_cores_, x, spec_);
+}
+
+SimGpuStencilBench::SimGpuStencilBench(sim::HybridNode& node, std::size_t gpu,
+                                       sim::StencilSpec spec)
+    : node_(node), gpu_(gpu), spec_(spec) {
+    FPM_CHECK(gpu < node.gpu_count(), "GPU index out of range");
+}
+
+std::string SimGpuStencilBench::name() const {
+    std::ostringstream os;
+    os << "stencil/" << node_.gpu_model(gpu_).spec().name;
+    return os.str();
+}
+
+double SimGpuStencilBench::run(double x) {
+    return sim::stencil_gpu_sweep_time(node_, gpu_, x, spec_);
+}
+
+RealStencilBench::RealStencilBench(std::size_t cols, unsigned threads)
+    : cols_(cols), threads_(threads) {
+    FPM_CHECK(cols >= 3, "stencil needs at least three columns");
+    FPM_CHECK(threads >= 1, "thread count must be positive");
+}
+
+std::string RealStencilBench::name() const {
+    std::ostringstream os;
+    os << "real-stencil/c" << cols_ << "/t" << threads_;
+    return os.str();
+}
+
+double RealStencilBench::run(double x) {
+    FPM_CHECK(x >= 1.0, "need at least one row");
+    const auto rows = static_cast<std::size_t>(std::ceil(x)) + 2;  // + halo
+
+    blas::Matrix<float> src(rows, cols_, 1.0F);
+    blas::Matrix<float> dst(rows, cols_, 0.0F);
+
+    // One sweep of the interior, split across threads like a socket's
+    // cores would.
+    measure::WallTimer timer;
+    const std::size_t interior = rows - 2;
+    if (threads_ == 1 || interior < 2 * threads_) {
+        for (std::size_t r = 1; r + 1 < rows; ++r) {
+            for (std::size_t c = 1; c + 1 < cols_; ++c) {
+                dst(r, c) = 0.2F * (src(r, c) + src(r - 1, c) + src(r + 1, c) +
+                                    src(r, c - 1) + src(r, c + 1));
+            }
+        }
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned w = 0; w < threads_; ++w) {
+            const std::size_t lo = 1 + interior * w / threads_;
+            const std::size_t hi = 1 + interior * (w + 1) / threads_;
+            pool.emplace_back([&, lo, hi]() {
+                for (std::size_t r = lo; r < hi; ++r) {
+                    for (std::size_t c = 1; c + 1 < cols_; ++c) {
+                        dst(r, c) =
+                            0.2F * (src(r, c) + src(r - 1, c) + src(r + 1, c) +
+                                    src(r, c - 1) + src(r, c + 1));
+                    }
+                }
+            });
+        }
+        for (auto& t : pool) {
+            t.join();
+        }
+    }
+    const double elapsed = timer.elapsed();
+    return elapsed * (x / static_cast<double>(interior));
+}
+
+} // namespace fpm::core

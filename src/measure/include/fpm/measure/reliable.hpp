@@ -1,0 +1,39 @@
+/// \file reliable.hpp
+/// \brief Repeat-until-statistically-reliable measurement driver.
+///
+/// Implements the repetition policy of the paper's section III(iii):
+/// "experiments are repeated multiple times until the results are
+/// statistically reliable".  A measurement is accepted once the 95 %
+/// confidence interval of the mean is within `target_relative_error`
+/// of the mean, subject to min/max repetition bounds.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fpm/measure/stats.hpp"
+
+namespace fpm::measure {
+
+/// Options controlling the reliability loop.
+struct ReliabilityOptions {
+    std::size_t min_repetitions = 3;
+    std::size_t max_repetitions = 25;
+    double target_relative_error = 0.025;  ///< ci95 half-width / mean
+    double max_total_seconds = 60.0;       ///< budget guard for slow kernels
+};
+
+/// Result of a reliable measurement: the accepted summary plus whether the
+/// precision target was met before hitting the repetition/time budget.
+struct ReliableResult {
+    Summary summary;
+    bool converged = false;
+};
+
+/// Repeatedly invokes `sample` (which returns one timing in seconds) until
+/// the relative confidence-interval target is met.  Throws fpm::Error if
+/// options are inconsistent or `sample` returns a non-positive value.
+ReliableResult measure_until_reliable(const std::function<double()>& sample,
+                                      const ReliabilityOptions& options = {});
+
+} // namespace fpm::measure

@@ -1,0 +1,55 @@
+/// \file stats.hpp
+/// \brief Streaming statistics and confidence intervals.
+///
+/// The paper repeats every speed measurement "multiple times until the
+/// results are statistically reliable".  RunningStats implements Welford's
+/// numerically-stable streaming mean/variance, and Summary derives the
+/// Student-t confidence interval used by the reliability loop.
+#pragma once
+
+#include <cstddef>
+
+namespace fpm::measure {
+
+/// Point summary of a sample: count, mean, standard deviation and the
+/// half-width of the 95 % confidence interval of the mean.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;       ///< sample standard deviation (n-1 denominator)
+    double ci95_half = 0.0;    ///< t_{0.975,n-1} * stddev / sqrt(n)
+    double min = 0.0;
+    double max = 0.0;
+
+    /// Relative precision of the mean estimate: ci95_half / mean
+    /// (0 when mean is 0 or fewer than two samples were seen).
+    [[nodiscard]] double relative_error() const;
+};
+
+/// Welford streaming accumulator.
+class RunningStats {
+public:
+    void add(double value);
+    void clear();
+
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const { return mean_; }
+    [[nodiscard]] double variance() const;  ///< sample variance, 0 if count < 2
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] Summary summary() const;
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Two-sided 97.5 % quantile of Student's t distribution with `df`
+/// degrees of freedom (exact table for small df, normal limit beyond).
+double student_t_975(std::size_t df);
+
+} // namespace fpm::measure

@@ -1,0 +1,44 @@
+/// \file timer.hpp
+/// \brief Monotonic wall-clock timing.
+///
+/// The paper's measurement methodology (section III) times kernels with a
+/// host-side synchronous wall clock; WallTimer is that clock.
+#pragma once
+
+#include <chrono>
+
+namespace fpm::measure {
+
+/// Monotonic wall-clock timer with double-precision seconds readout.
+class WallTimer {
+public:
+    WallTimer() noexcept { reset(); }
+
+    /// Restarts the timer at the current instant.
+    void reset() noexcept { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double elapsed() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a target double on destruction; handy for
+/// attributing time to phases inside the application drivers.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(double& accumulator) noexcept : accumulator_(accumulator) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() { accumulator_ += timer_.elapsed(); }
+
+private:
+    double& accumulator_;
+    WallTimer timer_;
+};
+
+} // namespace fpm::measure

@@ -1,0 +1,48 @@
+#include "fpm/measure/reliable.hpp"
+
+#include "fpm/common/error.hpp"
+#include "fpm/measure/timer.hpp"
+
+namespace fpm::measure {
+
+ReliableResult measure_until_reliable(const std::function<double()>& sample,
+                                      const ReliabilityOptions& options) {
+    FPM_CHECK(static_cast<bool>(sample), "sample callback must be callable");
+    FPM_CHECK(options.min_repetitions >= 1, "min_repetitions must be >= 1");
+    FPM_CHECK(options.max_repetitions >= options.min_repetitions,
+              "max_repetitions must be >= min_repetitions");
+    FPM_CHECK(options.target_relative_error > 0.0,
+              "target_relative_error must be positive");
+    FPM_CHECK(options.max_total_seconds > 0.0, "max_total_seconds must be positive");
+
+    RunningStats stats;
+    WallTimer budget;
+    ReliableResult result;
+
+    for (std::size_t rep = 0; rep < options.max_repetitions; ++rep) {
+        const double t = sample();
+        FPM_CHECK(t > 0.0, "sample returned a non-positive timing");
+        stats.add(t);
+
+        if (stats.count() >= options.min_repetitions) {
+            const Summary s = stats.summary();
+            // A single-repetition policy (min_repetitions == 1) accepts the
+            // first sample: no CI can be formed from one observation.
+            if (stats.count() == 1 ||
+                s.relative_error() <= options.target_relative_error) {
+                result.summary = s;
+                result.converged = true;
+                return result;
+            }
+        }
+        if (budget.elapsed() > options.max_total_seconds) {
+            break;
+        }
+    }
+
+    result.summary = stats.summary();
+    result.converged = false;
+    return result;
+}
+
+} // namespace fpm::measure

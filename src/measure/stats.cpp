@@ -1,0 +1,87 @@
+#include "fpm/measure/stats.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace fpm::measure {
+
+double Summary::relative_error() const {
+    if (count < 2 || mean == 0.0) {
+        return 0.0;
+    }
+    return ci95_half / std::fabs(mean);
+}
+
+void RunningStats::add(double value) {
+    ++count_;
+    if (count_ == 1) {
+        min_ = max_ = value;
+    } else {
+        if (value < min_) min_ = value;
+        if (value > max_) max_ = value;
+    }
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void RunningStats::clear() {
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double RunningStats::variance() const {
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const {
+    return std::sqrt(variance());
+}
+
+Summary RunningStats::summary() const {
+    Summary s;
+    s.count = count_;
+    s.mean = mean_;
+    s.stddev = stddev();
+    s.min = min_;
+    s.max = max_;
+    if (count_ >= 2) {
+        s.ci95_half = student_t_975(count_ - 1) * s.stddev /
+                      std::sqrt(static_cast<double>(count_));
+    }
+    return s;
+}
+
+double student_t_975(std::size_t df) {
+    // Exact two-sided 95 % critical values for df = 1..30; the normal
+    // quantile 1.960 is within 0.5 % beyond df = 40.
+    static constexpr std::array<double, 31> kTable = {
+        0.0,    // df = 0 (unused)
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0) {
+        return 0.0;
+    }
+    if (df < kTable.size()) {
+        return kTable[df];
+    }
+    if (df <= 40) {
+        return 2.021;
+    }
+    if (df <= 60) {
+        return 2.000;
+    }
+    if (df <= 120) {
+        return 1.980;
+    }
+    return 1.960;
+}
+
+} // namespace fpm::measure

@@ -1,0 +1,51 @@
+/// \file barrier.hpp
+/// \brief Reusable cyclic barrier.
+///
+/// The paper's measurement methodology synchronises processes "to minimise
+/// the idle computational cycles" and to maximise resource-sharing
+/// pressure during group benchmarks; Barrier is that synchronisation
+/// point for the in-process SPMD runtime.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::rt {
+
+/// Classic generation-counting cyclic barrier.
+class Barrier {
+public:
+    explicit Barrier(std::size_t parties) : parties_(parties), waiting_(0) {
+        FPM_CHECK(parties >= 1, "barrier needs at least one party");
+    }
+
+    Barrier(const Barrier&) = delete;
+    Barrier& operator=(const Barrier&) = delete;
+
+    /// Blocks until all parties arrive; reusable across rounds.
+    void arrive_and_wait() {
+        std::unique_lock lock(mutex_);
+        const std::size_t my_generation = generation_;
+        if (++waiting_ == parties_) {
+            waiting_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lock, [&]() { return generation_ != my_generation; });
+    }
+
+    [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+private:
+    const std::size_t parties_;
+    std::size_t waiting_;
+    std::size_t generation_ = 0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+} // namespace fpm::rt

@@ -1,0 +1,88 @@
+/// \file channel.hpp
+/// \brief Bounded blocking MPMC channel.
+///
+/// Message-passing primitive of the in-process runtime; processes exchange
+/// pivot metadata and results through channels in the examples and tests
+/// (the data itself stays in shared memory, as on a real hybrid node).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::rt {
+
+/// Bounded blocking multi-producer/multi-consumer queue.  close() wakes
+/// all blocked receivers; receiving from a closed, drained channel yields
+/// std::nullopt.
+template <typename T>
+class Channel {
+public:
+    explicit Channel(std::size_t capacity = 64) : capacity_(capacity) {
+        FPM_CHECK(capacity >= 1, "channel capacity must be positive");
+    }
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Blocks while full; throws if the channel was closed.
+    void send(T value) {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [&]() { return closed_ || queue_.size() < capacity_; });
+        FPM_CHECK(!closed_, "send on a closed channel");
+        queue_.push_back(std::move(value));
+        not_empty_.notify_one();
+    }
+
+    /// Blocks while empty; std::nullopt once closed and drained.
+    std::optional<T> receive() {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [&]() { return closed_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            return std::nullopt;
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /// Non-blocking receive.
+    std::optional<T> try_receive() {
+        std::lock_guard lock(mutex_);
+        if (queue_.empty()) {
+            return std::nullopt;
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> queue_;
+    bool closed_ = false;
+};
+
+} // namespace fpm::rt

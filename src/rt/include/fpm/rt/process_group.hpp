@@ -1,0 +1,72 @@
+/// \file process_group.hpp
+/// \brief SPMD "process group" over threads, MPI-style.
+///
+/// The paper treats the hybrid node as a distributed-memory system with
+/// one process per device, bound to cores.  ProcessGroup reproduces that
+/// programming model in-process: run() launches p ranks executing the
+/// same function, each with a ProcessContext giving rank/size, a group
+/// barrier, broadcast, and an all-reduce(max) — the collectives the
+/// column-based matrix multiplication needs.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <vector>
+
+#include "fpm/rt/barrier.hpp"
+
+namespace fpm::rt {
+
+class ProcessGroup;
+
+/// Per-rank handle passed to the SPMD function.
+class ProcessContext {
+public:
+    ProcessContext(ProcessGroup& group, std::size_t rank)
+        : group_(group), rank_(rank) {}
+
+    [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Group-wide synchronisation point.
+    void barrier();
+
+    /// Broadcast `value` from `root`; every rank receives root's value.
+    /// All ranks must call with the same root within the same round.
+    double broadcast(double value, std::size_t root);
+
+    /// All-reduce maximum across ranks.
+    double all_reduce_max(double value);
+
+    /// Records which core this rank is bound to (bookkeeping that mirrors
+    /// the paper's process binding; on a real deployment this would call
+    /// pthread_setaffinity_np).
+    void bind_to_core(unsigned core);
+    [[nodiscard]] int bound_core() const;
+
+private:
+    ProcessGroup& group_;
+    std::size_t rank_;
+};
+
+/// See file comment.
+class ProcessGroup {
+public:
+    explicit ProcessGroup(std::size_t processes);
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+    /// Runs fn(context) on `size` concurrent ranks and joins them all.
+    /// The first exception (if any) is rethrown after the join.
+    void run(const std::function<void(ProcessContext&)>& fn);
+
+private:
+    friend class ProcessContext;
+
+    std::size_t size_;
+    Barrier barrier_;
+    std::vector<double> slots_;
+    std::vector<int> bindings_;
+};
+
+} // namespace fpm::rt

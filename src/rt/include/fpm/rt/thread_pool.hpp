@@ -1,0 +1,61 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool with future-returning submission.
+///
+/// The hybrid node runs one "process" per device (paper section III);
+/// in-process we realise them as pool workers.  The pool also provides
+/// parallel_for, used by examples and tests for data-parallel sweeps.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::rt {
+
+/// See file comment.
+class ThreadPool {
+public:
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned size() const noexcept { return workers_count_; }
+
+    /// Schedules `fn` on a worker; the future resolves to its result (or
+    /// rethrows its exception).
+    template <typename Fn>
+    auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /// Runs fn(i) for i in [begin, end) across the pool and waits.
+    /// Exceptions from iterations are rethrown (first one wins).
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn);
+
+private:
+    void enqueue(std::function<void()> job);
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned workers_count_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace fpm::rt

@@ -1,0 +1,79 @@
+#include "fpm/rt/process_group.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+namespace fpm::rt {
+
+std::size_t ProcessContext::size() const noexcept {
+    return group_.size_;
+}
+
+void ProcessContext::barrier() {
+    group_.barrier_.arrive_and_wait();
+}
+
+double ProcessContext::broadcast(double value, std::size_t root) {
+    FPM_CHECK(root < group_.size_, "broadcast root out of range");
+    if (rank_ == root) {
+        group_.slots_[root] = value;
+    }
+    group_.barrier_.arrive_and_wait();  // publish
+    const double result = group_.slots_[root];
+    group_.barrier_.arrive_and_wait();  // consume before the next round
+    return result;
+}
+
+double ProcessContext::all_reduce_max(double value) {
+    group_.slots_[rank_] = value;
+    group_.barrier_.arrive_and_wait();
+    const double result =
+        *std::max_element(group_.slots_.begin(), group_.slots_.end());
+    group_.barrier_.arrive_and_wait();
+    return result;
+}
+
+void ProcessContext::bind_to_core(unsigned core) {
+    group_.bindings_[rank_] = static_cast<int>(core);
+}
+
+int ProcessContext::bound_core() const {
+    return group_.bindings_[rank_];
+}
+
+ProcessGroup::ProcessGroup(std::size_t processes)
+    : size_(processes), barrier_(processes), slots_(processes, 0.0),
+      bindings_(processes, -1) {
+    FPM_CHECK(processes >= 1, "process group needs at least one process");
+}
+
+void ProcessGroup::run(const std::function<void(ProcessContext&)>& fn) {
+    FPM_CHECK(static_cast<bool>(fn), "process group needs a callable");
+    std::vector<std::thread> threads;
+    threads.reserve(size_);
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    for (std::size_t rank = 0; rank < size_; ++rank) {
+        threads.emplace_back([this, rank, &fn, &first_error, &error_mutex]() {
+            ProcessContext context(*this, rank);
+            try {
+                fn(context);
+            } catch (...) {
+                std::lock_guard lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace fpm::rt

@@ -1,0 +1,91 @@
+#include "fpm/rt/thread_pool.hpp"
+
+#include <atomic>
+
+namespace fpm::rt {
+
+ThreadPool::ThreadPool(unsigned threads) : workers_count_(threads) {
+    FPM_CHECK(threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+    {
+        std::lock_guard lock(mutex_);
+        FPM_CHECK(!stopping_, "cannot submit to a stopping pool");
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping and drained
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+    FPM_CHECK(static_cast<bool>(fn), "parallel_for needs a callable");
+    if (begin >= end) {
+        return;
+    }
+    std::atomic<std::size_t> cursor{begin};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const std::size_t chunk_workers =
+        std::min<std::size_t>(workers_count_, end - begin);
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunk_workers);
+    for (std::size_t w = 0; w < chunk_workers; ++w) {
+        futures.push_back(submit([&]() {
+            for (;;) {
+                const std::size_t i = cursor.fetch_add(1);
+                if (i >= end) {
+                    return;
+                }
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard lock(error_mutex);
+                    if (!first_error) {
+                        first_error = std::current_exception();
+                    }
+                }
+            }
+        }));
+    }
+    for (auto& future : futures) {
+        future.get();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace fpm::rt

@@ -1,0 +1,87 @@
+#include "fpm/sim/cluster.hpp"
+
+#include <cmath>
+
+namespace fpm::sim {
+
+void ClusterSpec::validate() const {
+    FPM_CHECK(!nodes.empty(), "cluster must have at least one node");
+    FPM_CHECK(network.bandwidth_gbs > 0.0, "network bandwidth must be positive");
+    FPM_CHECK(network.latency_s >= 0.0, "network latency must be non-negative");
+    for (const auto& node : nodes) {
+        node.validate();
+    }
+}
+
+ClusterSpec homogeneous_hybrid_cluster(std::size_t nodes) {
+    FPM_CHECK(nodes >= 1, "need at least one node");
+    ClusterSpec cluster;
+    cluster.nodes.assign(nodes, ig_platform());
+    for (std::size_t i = 0; i < nodes; ++i) {
+        cluster.nodes[i].hostname = "ig" + std::to_string(i);
+    }
+    return cluster;
+}
+
+ClusterSpec heterogeneous_cluster() {
+    ClusterSpec cluster;
+
+    // Node 0: the paper's full hybrid node.
+    cluster.nodes.push_back(ig_platform());
+    cluster.nodes[0].hostname = "hybrid0";
+
+    // Node 1: CPU-only (the GPUs removed).
+    NodeSpec cpu_node = ig_platform();
+    cpu_node.hostname = "cpu1";
+    cpu_node.gpus.clear();
+    cluster.nodes.push_back(cpu_node);
+
+    // Node 2: two slower sockets plus only the Tesla C870.
+    NodeSpec small_node = ig_platform();
+    small_node.hostname = "small2";
+    small_node.sockets.resize(2);
+    for (auto& socket : small_node.sockets) {
+        socket.peak_core_gflops_sp *= 0.7;  // older silicon
+    }
+    small_node.gpus.erase(small_node.gpus.begin() + 1);  // drop the GTX680
+    cluster.nodes.push_back(small_node);
+
+    return cluster;
+}
+
+HybridCluster::HybridCluster(ClusterSpec spec, SimOptions options)
+    : spec_(std::move(spec)), options_(options) {
+    spec_.validate();
+    std::uint64_t seed = options_.noise_seed;
+    for (const auto& node_spec : spec_.nodes) {
+        SimOptions node_options = options_;
+        node_options.noise_seed = seed++;
+        nodes_.push_back(
+            std::make_unique<HybridNode>(node_spec, node_options));
+    }
+}
+
+HybridNode& HybridCluster::node(std::size_t i) {
+    FPM_CHECK(i < nodes_.size(), "node index out of range");
+    return *nodes_[i];
+}
+
+const HybridNode& HybridCluster::node(std::size_t i) const {
+    FPM_CHECK(i < nodes_.size(), "node index out of range");
+    return *nodes_[i];
+}
+
+double HybridCluster::broadcast_time(double blocks) const {
+    FPM_CHECK(blocks >= 0.0, "broadcast size must be non-negative");
+    if (nodes_.size() <= 1 || blocks == 0.0) {
+        return 0.0;
+    }
+    const double bytes =
+        blocks * block_bytes(options_.block_size, options_.precision);
+    const double rounds =
+        std::ceil(std::log2(static_cast<double>(nodes_.size())));
+    return rounds *
+           (spec_.network.latency_s + bytes / (spec_.network.bandwidth_gbs * 1e9));
+}
+
+} // namespace fpm::sim

@@ -1,0 +1,45 @@
+#include "fpm/sim/cpu_model.hpp"
+
+#include <cmath>
+
+#include "fpm/common/math.hpp"
+
+namespace fpm::sim {
+
+SocketModel::SocketModel(SocketSpec spec, Precision precision, std::size_t block_size)
+    : spec_(std::move(spec)), precision_(precision), block_size_(block_size) {
+    FPM_CHECK(block_size_ > 0, "block size must be positive");
+    FPM_CHECK(spec_.cores >= 1, "socket must have at least one core");
+    FPM_CHECK(spec_.peak_core_gflops_sp > 0.0, "peak core rate must be positive");
+    const double dp_scale = (precision_ == Precision::kSingle) ? 1.0 : 0.5;
+    peak_core_flops_ = spec_.peak_core_gflops_sp * 1e9 * dp_scale *
+                       blocking_efficiency(static_cast<double>(block_size_),
+                                           spec_.gemm_inner_dim_half);
+}
+
+double SocketModel::core_rate(double area_blocks_per_core, unsigned active_cores) const {
+    FPM_CHECK(area_blocks_per_core > 0.0, "problem area must be positive");
+    FPM_CHECK(active_cores >= 1 && active_cores <= spec_.cores,
+              "active core count out of range for this socket");
+
+    const double x = area_blocks_per_core;
+    const double ramp = x / (x + spec_.ramp_half_blocks);
+    const double cache = 1.0 - spec_.cache_decline_max *
+                                   (1.0 - std::exp(-x / spec_.cache_decline_blocks));
+    const double contention =
+        1.0 / (1.0 + spec_.contention_gamma * static_cast<double>(active_cores - 1));
+    return peak_core_flops_ * ramp * cache * contention;
+}
+
+double SocketModel::socket_rate(double area_blocks, unsigned active_cores) const {
+    const double per_core = area_blocks / static_cast<double>(active_cores);
+    return static_cast<double>(active_cores) * core_rate(per_core, active_cores);
+}
+
+double SocketModel::kernel_time(double area_blocks, unsigned active_cores) const {
+    const double flops =
+        gemm_update_flops(area_blocks, static_cast<double>(block_size_));
+    return flops / socket_rate(area_blocks, active_cores);
+}
+
+} // namespace fpm::sim

@@ -1,0 +1,206 @@
+#include "fpm/sim/gpu_kernel_sim.hpp"
+
+#include <cmath>
+
+#include "fpm/common/math.hpp"
+
+namespace fpm::sim {
+
+std::pair<std::int64_t, std::int64_t> square_dims(double area_blocks) {
+    FPM_CHECK(area_blocks >= 1.0, "area must be at least one block");
+    const auto w = static_cast<std::int64_t>(
+        std::max(1.0, std::round(std::sqrt(area_blocks))));
+    const auto h = static_cast<std::int64_t>(
+        std::ceil(area_blocks / static_cast<double>(w)));
+    return {w, h};
+}
+
+GpuKernelSim::GpuKernelSim(GpuModel model) : model_(std::move(model)) {}
+
+GpuKernelTiming GpuKernelSim::time_invocation(std::int64_t width_blocks,
+                                              std::int64_t height_blocks,
+                                              KernelVersion version,
+                                              double rate_factor,
+                                              bool reversed) const {
+    FPM_CHECK(rate_factor > 0.0 && rate_factor <= 1.0,
+              "rate_factor must be in (0, 1]");
+
+    OocPlanRequest req;
+    req.width_blocks = width_blocks;
+    req.height_blocks = height_blocks;
+    req.capacity_blocks = model_.capacity_blocks();
+    req.version = version;
+    req.block_size = static_cast<std::int64_t>(model_.block_size());
+    req.reversed = reversed;
+    const OocPlan plan = build_ooc_plan(req);
+
+    // Version 3 uses the overlapped schedule only when there is something
+    // to overlap; the in-core case degenerates to the serial v2 path.
+    if (version == KernelVersion::kV3 && !plan.in_core && plan.chunks.size() > 1) {
+        return run_overlapped(plan, rate_factor);
+    }
+    return run_serial(plan, rate_factor);
+}
+
+GpuKernelTiming GpuKernelSim::run_serial(const OocPlan& plan,
+                                         double rate_factor) const {
+    GpuKernelTiming t;
+    t.plan = plan;
+
+    const double w = static_cast<double>(plan.request.width_blocks);
+
+    // Resource contention with busy CPU cores slows the kernel (shared
+    // device/host pressure) and the transfers (the host memory feeding
+    // the DMA is busy) alike, so the whole invocation scales by
+    // 1 / rate_factor.
+    // Pivot row B(b): uploaded once per invocation.
+    t.h2d_s += model_.transfer_time(w, TransferPath::kPageable) / rate_factor;
+
+    for (const auto& chunk : plan.chunks) {
+        const double rows = static_cast<double>(chunk.rows());
+        const double area = rows * w;
+        // Pivot-column part A(b) for this band: always fresh.
+        t.h2d_s += model_.transfer_time(rows, TransferPath::kPageable) / rate_factor;
+        if (!chunk.skip_upload) {
+            t.h2d_s += model_.transfer_time(area, TransferPath::kPageable) / rate_factor;
+        }
+        t.compute_s += model_.compute_time(area) / rate_factor;
+        if (!chunk.skip_download) {
+            t.d2h_s += model_.transfer_time(area, TransferPath::kPageable) / rate_factor;
+        }
+    }
+
+    t.total_s = t.h2d_s + t.compute_s + t.d2h_s;
+    return t;
+}
+
+GpuKernelTiming GpuKernelSim::run_overlapped(const OocPlan& plan,
+                                             double rate_factor) const {
+    GpuKernelTiming t;
+    t.plan = plan;
+
+    Timeline& tl = t.timeline;
+    const auto compute = tl.add_resource("compute");
+    const auto h2d = tl.add_resource("h2d");
+    // A single DMA engine serialises both directions on one resource.
+    const auto d2h =
+        (model_.spec().dma_engines >= 2) ? tl.add_resource("d2h") : h2d;
+
+    const double w = static_cast<double>(plan.request.width_blocks);
+    const std::size_t n = plan.chunks.size();
+
+    // Pre-compute the transfer durations: in the double-buffered steady
+    // state the upload of chunk i+1 and the download of chunk i-1 overlap
+    // the compute of chunk i, and that DMA traffic interferes with the
+    // kernel (shared device-memory bandwidth).  Each compute op is
+    // extended by interference * (overlapping transfer time), so the
+    // out-of-core makespan lands near compute + interference * transfers —
+    // the saturation the paper's version-3 measurements show.
+    std::vector<double> up_time(n, 0.0);
+    std::vector<double> down_time(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& chunk = plan.chunks[i];
+        const double rows = static_cast<double>(chunk.rows());
+        const double area = rows * w;
+        up_time[i] = model_.transfer_time(rows, TransferPath::kPinned);
+        if (!chunk.skip_upload) {
+            up_time[i] += model_.transfer_time(area, TransferPath::kPinned);
+        }
+        if (!chunk.skip_download) {
+            down_time[i] = model_.transfer_time(area, TransferPath::kPinned);
+        }
+        // Contention with busy CPU cores slows the DMA path too (the host
+        // memory feeding the transfers is busy).
+        up_time[i] /= rate_factor;
+        down_time[i] /= rate_factor;
+    }
+
+    // B(b) upload first (buffer B0), pinned path.
+    const auto b_up = tl.add_op(
+        h2d, model_.transfer_time(w, TransferPath::kPinned) / rate_factor, {},
+        "B");
+
+    std::vector<Timeline::OpId> h2d_ops(n);
+    std::vector<Timeline::OpId> comp_ops(n);
+    std::vector<Timeline::OpId> d2h_ops(n, static_cast<Timeline::OpId>(-1));
+    const double interference = model_.spec().copy_compute_interference;
+
+    // Software-pipelined issue order, as a double-buffered host driver
+    // would submit its streams: prefetch the uploads of the first two
+    // chunks, then per chunk compute -> drain -> prefetch the upload that
+    // reuses the drained C buffer.  (A naive in-loop-order submission
+    // would make the single shared DMA engine process D_{i-1} before H_i
+    // and serialise the whole pipeline.)
+    auto submit_upload = [&](std::size_t i) {
+        // With two C buffers, the upload of chunk i reuses the buffer
+        // drained by chunk i-2.
+        std::vector<Timeline::OpId> up_deps = {b_up};
+        if (i >= 2 && d2h_ops[i - 2] != static_cast<Timeline::OpId>(-1)) {
+            up_deps.push_back(d2h_ops[i - 2]);
+        }
+        h2d_ops[i] = tl.add_op(h2d, up_time[i], up_deps, "H");
+    };
+    submit_upload(0);
+    if (n > 1) {
+        submit_upload(1);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& chunk = plan.chunks[i];
+        const double rows = static_cast<double>(chunk.rows());
+        const double area = rows * w;
+
+        // Compute, stretched by the interference of the DMA traffic that
+        // overlaps it (next chunk's upload, previous chunk's download).
+        double overlapping_dma = 0.0;
+        if (i + 1 < n) {
+            overlapping_dma += up_time[i + 1];
+        }
+        if (i >= 1) {
+            overlapping_dma += down_time[i - 1];
+        }
+        const double comp_time =
+            model_.compute_time(area) / rate_factor +
+            interference * overlapping_dma;
+        comp_ops[i] = tl.add_op(compute, comp_time, {h2d_ops[i]}, "C");
+
+        if (!chunk.skip_download) {
+            d2h_ops[i] = tl.add_op(d2h, down_time[i], {comp_ops[i]}, "D");
+        }
+        if (i + 2 < n) {
+            submit_upload(i + 2);
+        }
+    }
+
+    t.total_s = tl.makespan();
+    t.compute_s = tl.busy_time(compute);
+    t.h2d_s = tl.busy_time(h2d);
+    t.d2h_s = (d2h == h2d) ? 0.0 : tl.busy_time(d2h);
+    return t;
+}
+
+std::pair<GpuKernelTiming, double> GpuKernelSim::time_square_update(
+    double area_blocks, KernelVersion version, double rate_factor) const {
+    auto [w, h] = square_dims(area_blocks);
+
+    // A near-square Ci may be too wide for the device buffers (one band of
+    // w blocks plus pivots must fit; versions 2/3 need two bands).  Real
+    // out-of-core kernels narrow the tile instead of failing, so clamp the
+    // width to the widest feasible band and grow the height.
+    const double cap = model_.capacity_blocks();
+    const double buffers = (version == KernelVersion::kV1) ? 1.0 : 2.0;
+    const auto max_width =
+        static_cast<std::int64_t>((cap - buffers) / (buffers + 1.0));
+    FPM_CHECK(max_width >= 1,
+              "device memory cannot hold even a one-block-wide band");
+    if (w > max_width) {
+        w = max_width;
+        h = static_cast<std::int64_t>(
+            std::ceil(area_blocks / static_cast<double>(w)));
+    }
+
+    GpuKernelTiming timing = time_invocation(w, h, version, rate_factor);
+    return {std::move(timing), static_cast<double>(w) * static_cast<double>(h)};
+}
+
+} // namespace fpm::sim

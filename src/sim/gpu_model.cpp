@@ -1,0 +1,52 @@
+#include "fpm/sim/gpu_model.hpp"
+
+#include "fpm/common/math.hpp"
+
+namespace fpm::sim {
+
+GpuModel::GpuModel(GpuSpec spec, Precision precision, std::size_t block_size)
+    : spec_(std::move(spec)), precision_(precision), block_size_(block_size) {
+    FPM_CHECK(block_size_ > 0, "block size must be positive");
+    FPM_CHECK(spec_.peak_gflops_sp > 0.0, "GPU peak rate must be positive");
+    FPM_CHECK(spec_.device_memory_mib > 0.0, "GPU device memory must be positive");
+    FPM_CHECK(spec_.dma_engines == 1 || spec_.dma_engines == 2,
+              "dma_engines must be 1 or 2");
+    FPM_CHECK(spec_.copy_compute_interference >= 0.0 &&
+                  spec_.copy_compute_interference < 1.0,
+              "copy/compute interference must be in [0, 1)");
+    const double dp_scale = (precision_ == Precision::kSingle) ? 1.0 : spec_.dp_ratio;
+    peak_flops_ = spec_.peak_gflops_sp * 1e9 * dp_scale *
+                  blocking_efficiency(static_cast<double>(block_size_),
+                                      spec_.gemm_inner_dim_half);
+}
+
+double GpuModel::capacity_blocks() const {
+    const double usable_bytes =
+        spec_.device_memory_mib * 1024.0 * 1024.0 * spec_.usable_memory_fraction;
+    return usable_bytes / block_bytes(block_size_, precision_);
+}
+
+double GpuModel::kernel_rate(double tile_blocks) const {
+    FPM_CHECK(tile_blocks > 0.0, "tile size must be positive");
+    const double ramp = tile_blocks / (tile_blocks + spec_.ramp_half_blocks);
+    return peak_flops_ * ramp;
+}
+
+double GpuModel::transfer_time(double blocks, TransferPath path) const {
+    FPM_CHECK(blocks >= 0.0, "transfer size must be non-negative");
+    if (blocks == 0.0) {
+        return 0.0;
+    }
+    const double bytes = blocks * block_bytes(block_size_, precision_);
+    const double gbs = (path == TransferPath::kPageable) ? spec_.pcie_pageable_gbs
+                                                         : spec_.pcie_pinned_gbs;
+    return spec_.pcie_latency_s + bytes / (gbs * 1e9);
+}
+
+double GpuModel::compute_time(double tile_blocks) const {
+    const double flops =
+        gemm_update_flops(tile_blocks, static_cast<double>(block_size_));
+    return spec_.launch_overhead_s + flops / kernel_rate(tile_blocks);
+}
+
+} // namespace fpm::sim

@@ -1,0 +1,45 @@
+/// \file cpu_model.hpp
+/// \brief Analytic performance model of a multicore CPU socket.
+///
+/// Models the speed of a socket executing the application's GEMM kernel
+/// "simultaneously on its cores" (the group measurement of the paper's
+/// section III / ref [6]).  The per-core rate combines:
+///   - a small-problem ramp (kernel overheads dominate tiny updates),
+///   - a gentle cache-pressure decline for large working sets,
+///   - shared-resource contention growing with the number of active cores.
+#pragma once
+
+#include "fpm/sim/specs.hpp"
+
+namespace fpm::sim {
+
+/// Performance model of one socket.
+class SocketModel {
+public:
+    SocketModel(SocketSpec spec, Precision precision, std::size_t block_size);
+
+    [[nodiscard]] const SocketSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+
+    /// Rate of one core (flop/s) when `active_cores` cores of this socket
+    /// execute the kernel concurrently, each on a sub-problem of
+    /// `area_blocks_per_core` blocks.
+    [[nodiscard]] double core_rate(double area_blocks_per_core,
+                                   unsigned active_cores) const;
+
+    /// Aggregate socket rate (flop/s) for a total problem of `area_blocks`
+    /// split evenly over `active_cores` cores.
+    [[nodiscard]] double socket_rate(double area_blocks, unsigned active_cores) const;
+
+    /// Time of ONE kernel invocation (Ci += A(b) x B(b), Ci of
+    /// `area_blocks` blocks) on `active_cores` cores.
+    [[nodiscard]] double kernel_time(double area_blocks, unsigned active_cores) const;
+
+private:
+    SocketSpec spec_;
+    Precision precision_;
+    std::size_t block_size_;
+    double peak_core_flops_;  // precision-adjusted peak, flop/s
+};
+
+} // namespace fpm::sim

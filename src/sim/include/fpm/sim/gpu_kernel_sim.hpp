@@ -1,0 +1,64 @@
+/// \file gpu_kernel_sim.hpp
+/// \brief Simulated timing of one GPU kernel invocation (versions 1-3).
+///
+/// Composes an OocPlan with the GpuModel rate/transfer primitives:
+/// versions 1 and 2 execute the plan serially on the synchronous
+/// (pageable) path; version 3 schedules the plan on a Timeline with the
+/// device's DMA engines and derated compute, reproducing the overlap
+/// behaviour of the paper's Fig. 3 and Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "fpm/sim/gpu_model.hpp"
+#include "fpm/sim/ooc_plan.hpp"
+#include "fpm/sim/timeline.hpp"
+
+namespace fpm::sim {
+
+/// Timing breakdown of one kernel invocation.
+struct GpuKernelTiming {
+    double total_s = 0.0;
+    double compute_s = 0.0;  ///< busy time of the compute engine
+    double h2d_s = 0.0;      ///< busy time of host->device transfers
+    double d2h_s = 0.0;      ///< busy time of device->host transfers
+    OocPlan plan;
+    Timeline timeline;       ///< populated for version 3 only
+};
+
+/// Near-square integer dimensions (w, h) with w*h >= area and |w-h| <= 1.
+std::pair<std::int64_t, std::int64_t> square_dims(double area_blocks);
+
+/// Simulator for one GPU's kernel invocations.
+class GpuKernelSim {
+public:
+    explicit GpuKernelSim(GpuModel model);
+
+    [[nodiscard]] const GpuModel& model() const noexcept { return model_; }
+
+    /// Times one invocation Ci += A(b) x B(b) for a Ci of w x h blocks.
+    /// `rate_factor` scales the on-device compute rate (used for CPU/GPU
+    /// resource contention, paper Fig. 5); `reversed` selects the
+    /// serpentine order of the tail-reuse optimisation.
+    [[nodiscard]] GpuKernelTiming time_invocation(std::int64_t width_blocks,
+                                                  std::int64_t height_blocks,
+                                                  KernelVersion version,
+                                                  double rate_factor = 1.0,
+                                                  bool reversed = false) const;
+
+    /// Convenience: times a near-square update of ~`area_blocks` blocks;
+    /// returns the timing and the exact integer area simulated.
+    [[nodiscard]] std::pair<GpuKernelTiming, double> time_square_update(
+        double area_blocks, KernelVersion version, double rate_factor = 1.0) const;
+
+private:
+    GpuModel model_;
+
+    [[nodiscard]] GpuKernelTiming run_serial(const OocPlan& plan,
+                                             double rate_factor) const;
+    [[nodiscard]] GpuKernelTiming run_overlapped(const OocPlan& plan,
+                                                 double rate_factor) const;
+};
+
+} // namespace fpm::sim

@@ -1,0 +1,45 @@
+/// \file gpu_model.hpp
+/// \brief Analytic performance primitives of one GPU + PCIe link.
+///
+/// Provides the building blocks the kernel-version simulators compose:
+/// on-device GEMM rate as a function of tile size, device-memory capacity
+/// in blocks, and PCIe transfer times for pageable and pinned host memory.
+#pragma once
+
+#include "fpm/sim/specs.hpp"
+
+namespace fpm::sim {
+
+/// Which host-memory path a transfer uses (pageable = synchronous
+/// cudaMemcpy; pinned = page-locked async path of kernel version 3).
+enum class TransferPath { kPageable, kPinned };
+
+/// Performance model of one GPU (with dedicated host core).
+class GpuModel {
+public:
+    GpuModel(GpuSpec spec, Precision precision, std::size_t block_size);
+
+    [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+
+    /// Usable device memory expressed in b-by-b blocks.
+    [[nodiscard]] double capacity_blocks() const;
+
+    /// On-device GEMM rate (flop/s) for a tile of `tile_blocks` blocks.
+    [[nodiscard]] double kernel_rate(double tile_blocks) const;
+
+    /// Time to move `blocks` blocks across PCIe in one direction.
+    [[nodiscard]] double transfer_time(double blocks, TransferPath path) const;
+
+    /// Compute time of a GEMM update of `tile_blocks` blocks (including
+    /// kernel-launch overhead).
+    [[nodiscard]] double compute_time(double tile_blocks) const;
+
+private:
+    GpuSpec spec_;
+    Precision precision_;
+    std::size_t block_size_;
+    double peak_flops_;  // precision-adjusted, flop/s
+};
+
+} // namespace fpm::sim

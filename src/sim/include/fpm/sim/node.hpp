@@ -1,0 +1,96 @@
+/// \file node.hpp
+/// \brief Facade over the simulated hybrid node.
+///
+/// HybridNode owns the per-socket and per-GPU models plus a deterministic
+/// per-device measurement-noise stream, and exposes the two timing entry
+/// points the rest of the system needs:
+///
+///  - time of one CPU kernel invocation on c cores of a socket;
+///  - time of one GPU kernel invocation (combined GPU + dedicated core +
+///    PCIe transfers) for a given kernel version.
+///
+/// Cross-device coupling (the paper's section III observations) is
+/// expressed through contention factors: cores of one socket contend with
+/// each other (inside SocketModel), a GPU slows by 7-15 % when cores of
+/// its socket compute concurrently, and CPU cores are nearly unaffected
+/// by a busy co-located GPU host process.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fpm/sim/cpu_model.hpp"
+#include "fpm/sim/gpu_kernel_sim.hpp"
+#include "fpm/sim/gpu_model.hpp"
+#include "fpm/sim/noise.hpp"
+#include "fpm/sim/specs.hpp"
+
+namespace fpm::sim {
+
+/// Simulation-wide options.
+struct SimOptions {
+    Precision precision = Precision::kSingle;
+    std::size_t block_size = 640;     ///< the paper's blocking factor b
+    double noise_sigma = 0.0;         ///< lognormal measurement jitter
+    std::uint64_t noise_seed = 2012;  ///< deterministic seed (CLUSTER 2012)
+};
+
+/// See file comment.
+class HybridNode {
+public:
+    HybridNode(NodeSpec spec, SimOptions options = {});
+
+    [[nodiscard]] const NodeSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
+    [[nodiscard]] std::size_t socket_count() const { return sockets_.size(); }
+    [[nodiscard]] std::size_t gpu_count() const { return gpus_.size(); }
+    [[nodiscard]] const SocketModel& socket_model(std::size_t i) const;
+    [[nodiscard]] const GpuModel& gpu_model(std::size_t i) const;
+    [[nodiscard]] const GpuKernelSim& gpu_sim(std::size_t i) const;
+
+    /// Socket index hosting GPU `i` (its dedicated core lives there).
+    [[nodiscard]] unsigned gpu_socket(std::size_t i) const;
+
+    /// --- exact (noise-free) kernel timings ------------------------------
+
+    /// One CPU kernel invocation of `area_blocks` on `active_cores` cores
+    /// of socket `socket`; `gpu_coactive` marks a busy GPU host process on
+    /// the same socket.
+    [[nodiscard]] double cpu_kernel_time(std::size_t socket, unsigned active_cores,
+                                         double area_blocks,
+                                         bool gpu_coactive = false) const;
+
+    /// One GPU kernel invocation of a near-square update of `area_blocks`
+    /// on GPU `gpu`; `coactive_cpu_cores` counts cores of the GPU's socket
+    /// that compute concurrently (resource contention, Fig. 5).
+    [[nodiscard]] double gpu_kernel_time(std::size_t gpu, double area_blocks,
+                                         KernelVersion version,
+                                         unsigned coactive_cpu_cores = 0) const;
+
+    /// --- noisy measurements (what a benchmark would observe) ------------
+
+    [[nodiscard]] double measure_cpu_kernel(std::size_t socket, unsigned active_cores,
+                                            double area_blocks,
+                                            bool gpu_coactive = false);
+    [[nodiscard]] double measure_gpu_kernel(std::size_t gpu, double area_blocks,
+                                            KernelVersion version,
+                                            unsigned coactive_cpu_cores = 0);
+
+    /// GPU rate multiplier when `coactive_cpu_cores` cores of its socket
+    /// are busy (1.0 when idle).
+    [[nodiscard]] double gpu_contention_factor(std::size_t gpu,
+                                               unsigned coactive_cpu_cores) const;
+
+    /// CPU rate multiplier when the co-located GPU host process is busy.
+    [[nodiscard]] double cpu_contention_factor(bool gpu_coactive) const;
+
+private:
+    NodeSpec spec_;
+    SimOptions options_;
+    std::vector<SocketModel> sockets_;
+    std::vector<GpuModel> gpus_;
+    std::vector<GpuKernelSim> gpu_sims_;
+    std::vector<NoiseModel> noise_;  // one stream per device (sockets, then GPUs)
+};
+
+} // namespace fpm::sim

@@ -1,0 +1,38 @@
+/// \file noise.hpp
+/// \brief Measurement-noise model for simulated timings.
+///
+/// Real benchmarks jitter; the paper's methodology repeats measurements
+/// until they are statistically reliable.  To make that machinery do real
+/// work against the simulator, every simulated timing can be perturbed by
+/// multiplicative lognormal noise drawn from a deterministic per-device
+/// stream.
+#pragma once
+
+#include "fpm/common/error.hpp"
+#include "fpm/common/rng.hpp"
+
+namespace fpm::sim {
+
+/// Multiplicative lognormal jitter: t' = t * exp(N(0, sigma)).
+/// sigma = 0 disables noise (exact analytic timings).
+class NoiseModel {
+public:
+    explicit NoiseModel(double sigma = 0.0, std::uint64_t seed = 42)
+        : sigma_(sigma), rng_(seed) {
+        FPM_CHECK(sigma >= 0.0, "noise sigma must be non-negative");
+    }
+
+    [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+    /// Applies jitter to a timing in seconds.
+    double apply(double seconds);
+
+    /// Forks an independent stream for another device.
+    NoiseModel split();
+
+private:
+    double sigma_;
+    Rng rng_;
+};
+
+} // namespace fpm::sim

@@ -1,0 +1,96 @@
+/// \file ooc_plan.hpp
+/// \brief Out-of-core tiling plans for the GPU kernel (paper section V).
+///
+/// The paper's kernel computes Ci += A(b) x B(b) for a rectangle Ci of
+/// w x h blocks.  Three versions are evaluated:
+///
+///  - **Version 1**: A(b), B(b) and Ci live in host memory; every
+///    invocation uploads the pivots and Ci and downloads the updated Ci.
+///  - **Version 2**: Ci is resident in device memory while it fits
+///    (transfers of Ci excluded entirely); past the device-memory limit the
+///    kernel tiles Ci into rectangles updated serially, keeping the last
+///    two rectangles resident and reversing the update order every other
+///    iteration to save two transfers in each direction per iteration.
+///  - **Version 3**: version 2 plus double-buffered overlap of transfers
+///    and compute using five device buffers (A0, A1, B0, C0, C1);
+///    concurrent bidirectional DMA where the hardware supports it.
+///
+/// An OocPlan is a pure description (which chunk moves when); it is
+/// consumed both by the simulator (fpm::sim::GpuKernelSim) to produce
+/// timings and by the host reference executor (fpm::app) to produce
+/// numerically-verified results, so its invariants are directly testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::sim {
+
+/// GPU kernel implementation version (paper's Fig. 3).
+enum class KernelVersion { kV1 = 1, kV2 = 2, kV3 = 3 };
+
+[[nodiscard]] const char* to_string(KernelVersion v);
+
+/// One tile of Ci: a horizontal band of block-rows [row_begin, row_end).
+struct OocChunk {
+    std::int64_t row_begin = 0;
+    std::int64_t row_end = 0;
+
+    /// Chunk is already on the device from the previous iteration
+    /// (tail-reuse) -> no host-to-device transfer of C this iteration.
+    bool skip_upload = false;
+
+    /// Chunk stays on the device for the next iteration -> no
+    /// device-to-host transfer this iteration.
+    bool skip_download = false;
+
+    [[nodiscard]] std::int64_t rows() const { return row_end - row_begin; }
+};
+
+/// Parameters from which a plan is built.
+struct OocPlanRequest {
+    std::int64_t width_blocks = 0;    ///< w: columns of Ci in blocks
+    std::int64_t height_blocks = 0;   ///< h: rows of Ci in blocks
+    double capacity_blocks = 0.0;     ///< usable device memory, in blocks
+    KernelVersion version = KernelVersion::kV2;
+
+    /// Paper: "both two dimensions of these rectangles are ensured to be
+    /// multiples of 32" elements (CUBLAS memory-alignment sensitivity).
+    /// Chunk row boundaries are snapped so that rows * block_size is a
+    /// multiple of this value whenever the capacity allows it.
+    std::int64_t align_elements = 32;
+    std::int64_t block_size = 640;
+
+    /// Whether this iteration updates chunks in reversed order (the paper
+    /// alternates every other iteration so the resident tail of the
+    /// previous iteration is touched first).
+    bool reversed = false;
+};
+
+/// A complete tiling plan for one kernel invocation.
+struct OocPlan {
+    OocPlanRequest request;
+    std::vector<OocChunk> chunks;   ///< in update order
+    bool in_core = false;           ///< single chunk, C fully resident (v2/v3)
+    double chunk_capacity_blocks = 0.0;  ///< area budget per C buffer
+
+    /// --- traffic accounting (blocks) -----------------------------------
+    [[nodiscard]] double upload_c_blocks() const;    ///< C host->device
+    [[nodiscard]] double download_c_blocks() const;  ///< C device->host
+    [[nodiscard]] double upload_pivot_blocks() const;  ///< A parts + B
+    [[nodiscard]] double total_area_blocks() const;
+
+    /// Checks structural invariants: chunks tile [0, h) exactly, in order,
+    /// without overlap; every chunk fits the per-buffer capacity.
+    void validate() const;
+};
+
+/// Builds the tiling plan for one kernel invocation.  Throws fpm::Error if
+/// even a single aligned chunk cannot fit the device (the problem is
+/// infeasible for this GPU).
+OocPlan build_ooc_plan(const OocPlanRequest& request);
+
+} // namespace fpm::sim

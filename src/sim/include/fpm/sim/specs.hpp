@@ -1,0 +1,178 @@
+/// \file specs.hpp
+/// \brief Hardware specifications for the simulated hybrid node.
+///
+/// The paper's experimental platform (Table I, host `ig.icl.utk.edu`) is a
+/// NUMA node with 4 six-core AMD Opteron 8439SE sockets (16 GB each),
+/// accelerated by an NVIDIA GeForce GTX680 (2 GiB, two DMA engines,
+/// concurrent bidirectional transfers) and a Tesla C870 (1.5 GiB, single
+/// DMA engine).  These structs describe that platform for the analytic /
+/// discrete-event performance model in fpm::sim.  All rate parameters are
+/// calibrated against the paper's published curves; see DESIGN.md section 2
+/// and EXPERIMENTS.md for the calibration rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::sim {
+
+/// Floating-point precision of the GEMM workload.  The paper's experiments
+/// are single precision; the models scale peak rates for double.
+enum class Precision { kSingle, kDouble };
+
+/// Bytes per matrix element for the given precision.
+constexpr std::size_t element_bytes(Precision p) {
+    return p == Precision::kSingle ? 4 : 8;
+}
+
+/// Reference blocking factor at which all rate parameters are calibrated
+/// (the paper's b = 640).
+inline constexpr double kReferenceBlock = 640.0;
+
+/// Rank-b update efficiency relative to the reference blocking factor:
+/// b / (b + half), normalised to 1 at b = 640.
+inline double blocking_efficiency(double b, double half) {
+    return (b / (b + half)) * ((kReferenceBlock + half) / kReferenceBlock);
+}
+
+/// Bytes of one b-by-b matrix block.
+constexpr double block_bytes(std::size_t block_size, Precision p) {
+    return static_cast<double>(block_size) * static_cast<double>(block_size) *
+           static_cast<double>(element_bytes(p));
+}
+
+/// One multicore CPU socket (NUMA domain with its own memory).
+struct SocketSpec {
+    std::string name = "Opteron 8439SE";
+    unsigned cores = 6;
+    double clock_ghz = 2.8;
+    double memory_gib = 16.0;
+
+    /// Peak sustained single-precision GEMM rate of one core (GFlop/s)
+    /// with no sharing.  Calibrated so a 6-core socket delivers the
+    /// 100-115 GFlop/s band of the paper's Fig. 2.
+    double peak_core_gflops_sp = 24.0;
+
+    /// Small-problem ramp: rate scales by x/(x + ramp_half_blocks) where x
+    /// is the per-core problem area in blocks.  Models loop/launch overhead
+    /// dominating tiny kernels.
+    double ramp_half_blocks = 2.0;
+
+    /// Large-problem decline: working sets past the per-core cache share
+    /// lose up to `cache_decline_max` of the rate with characteristic
+    /// scale `cache_decline_blocks` (gentle hump shape of Fig. 2).
+    double cache_decline_max = 0.06;
+    double cache_decline_blocks = 80.0;
+
+    /// Shared-resource contention between cores of one socket: the rate of
+    /// each of c active cores scales by 1 / (1 + gamma * (c - 1)).
+    /// Produces the sub-linear socket scaling the paper reports.
+    double contention_gamma = 0.03;
+
+    /// The kernel is a rank-b update (inner GEMM dimension = the blocking
+    /// factor b), so its efficiency grows with b: the rate scales by
+    /// b / (b + gemm_inner_dim_half), normalised to 1 at the paper's
+    /// b = 640.  Drives the granularity trade-off of section V.
+    double gemm_inner_dim_half = 96.0;
+};
+
+/// One GPU with its dedicated host core and PCIe connection.  The model is
+/// for the *combined* device of the paper: GPU + dedicated core + memory
+/// transfers.
+struct GpuSpec {
+    std::string name;
+    unsigned cuda_cores = 0;
+    double clock_mhz = 0.0;
+    double device_memory_mib = 0.0;
+    double device_mem_bandwidth_gbs = 0.0;
+
+    /// Fraction of device memory usable for application buffers (the rest
+    /// is the CUDA context, alignment slack, etc.).
+    double usable_memory_fraction = 0.92;
+
+    /// Peak on-device SGEMM rate (GFlop/s) and small-tile ramp parameter
+    /// (same law as SocketSpec::ramp_half_blocks but per kernel tile).
+    double peak_gflops_sp = 1040.0;
+    double ramp_half_blocks = 15.0;
+
+    /// PCIe characteristics.  Pageable is what synchronous cudaMemcpy from
+    /// regular host memory achieves (kernel versions 1 and 2); pinned is
+    /// the page-locked bandwidth reached by the async double-buffered
+    /// version 3.
+    double pcie_pageable_gbs = 2.2;
+    double pcie_pinned_gbs = 2.9;
+    double pcie_latency_s = 25e-6;
+
+    /// Number of DMA copy engines: 2 means host-to-device and
+    /// device-to-host transfers proceed concurrently (GTX680); 1 means all
+    /// transfers serialise on one engine (Tesla C870).
+    unsigned dma_engines = 2;
+
+    /// Copy/compute interference of the overlapped (version 3) kernel:
+    /// each chunk's compute is extended by this fraction of the DMA
+    /// traffic scheduled to overlap it, so the out-of-core makespan is
+    /// approximately compute + interference * transfers.  This is what the
+    /// paper's version-3 measurements imply: the overlap gain saturates
+    /// around +30 % on the GTX680 (and less on the single-DMA C870)
+    /// rather than hiding transfers completely.
+    double copy_compute_interference = 0.55;
+
+    /// Fixed cost of launching one kernel.
+    double launch_overhead_s = 20e-6;
+
+    /// Rank-b update efficiency (see SocketSpec::gemm_inner_dim_half);
+    /// GPUs need longer inner dimensions to reach peak.
+    double gemm_inner_dim_half = 192.0;
+
+    /// Double-precision throughput relative to single precision.
+    double dp_ratio = 1.0 / 8.0;
+};
+
+/// Placement of one GPU in the node: which socket hosts it and therefore
+/// loses one core to the dedicated host process.
+struct GpuAttachment {
+    GpuSpec gpu;
+    unsigned socket_index = 0;
+};
+
+/// The whole hybrid node.
+struct NodeSpec {
+    std::string hostname = "ig.icl.utk.edu";
+    std::vector<SocketSpec> sockets;
+    std::vector<GpuAttachment> gpus;
+
+    /// GPU slowdown when CPU cores on the same socket compute concurrently
+    /// (the 7-15 % effect of the paper's Fig. 5): the GPU rate scales by
+    /// 1 - cpu_gpu_interference * active_cores / socket_cores.
+    double cpu_gpu_interference = 0.12;
+
+    /// CPU slowdown from a co-located busy GPU host process (the paper
+    /// finds cores "not so much affected").
+    double gpu_cpu_interference = 0.015;
+
+    /// Intra-node inter-process communication model used by the
+    /// application simulator: memcpy-style bandwidth plus a per-message
+    /// latency (processes communicate through shared memory).
+    double host_copy_gbs = 4.0;
+    double message_latency_s = 30e-6;
+
+    [[nodiscard]] unsigned total_cores() const {
+        unsigned n = 0;
+        for (const auto& s : sockets) {
+            n += s.cores;
+        }
+        return n;
+    }
+
+    /// Validates structural consistency (socket indices in range, at least
+    /// one socket, GPUs attached to distinct-capable sockets).
+    void validate() const;
+};
+
+/// Factory for the paper's experimental platform (Table I).
+NodeSpec ig_platform();
+
+} // namespace fpm::sim

@@ -1,0 +1,64 @@
+/// \file stencil_model.hpp
+/// \brief Performance model of a 5-point stencil sweep (second
+///        application family).
+///
+/// The paper targets "data-parallel scientific applications, such as
+/// linear algebra routines, digital signal processing, computational
+/// fluid dynamics"; matrix multiplication is only its running example.
+/// This model adds a second family — an iterative 5-point Jacobi stencil
+/// — whose performance character is the opposite of GEMM:
+///
+///  * CPUs are *memory-bound*: a socket's sweep rate is capped by its
+///    DRAM bandwidth, not its flops;
+///  * a GPU is excellent while the grid fits device memory (its HBM/GDDR
+///    bandwidth dwarfs the host's), but once the grid exceeds device
+///    memory every sweep must stream the grid across PCIe, which is
+///    slower than just computing on the host — a far harsher cliff than
+///    GEMM's (where compute intensity amortises the traffic).
+///
+/// The problem size x is the number of grid *rows* assigned to a device
+/// (the workload is divisible by rows); the kernel is one sweep over
+/// those rows.
+#pragma once
+
+#include <cstdint>
+
+#include "fpm/sim/node.hpp"
+
+namespace fpm::sim {
+
+/// Parameters of the stencil workload and its kernel cost model.
+struct StencilSpec {
+    std::int64_t cols = 16384;      ///< cells per grid row
+    double flops_per_cell = 5.0;    ///< 4 adds + 1 multiply
+    /// Effective DRAM traffic per cell and sweep (read row + neighbours
+    /// from cache, write result): 3 x 4 bytes in single precision.
+    double bytes_per_cell = 12.0;
+    /// Fraction of nominal bandwidth a tuned stencil sustains.
+    double bandwidth_efficiency = 0.65;
+    /// Host DRAM bandwidth per socket (GB/s); the Opteron 8439SE's
+    /// DDR2-800 channels deliver ~12.8 GB/s nominal.
+    double socket_bandwidth_gbs = 12.8;
+    /// Extra rows of halo exchanged with each neighbour per sweep.
+    std::int64_t halo_rows = 1;
+};
+
+/// One sweep over `rows` rows on `active_cores` cores of a socket
+/// (memory-bound: cores share the socket's DRAM bandwidth).
+double stencil_cpu_sweep_time(const HybridNode& node, std::size_t socket,
+                              unsigned active_cores, double rows,
+                              const StencilSpec& spec);
+
+/// One sweep over `rows` rows on a GPU (+ dedicated core).  While the
+/// grid band fits device memory it is resident and the sweep runs at
+/// device-memory bandwidth; beyond that the band streams across PCIe
+/// every sweep (in and out), which dominates.
+double stencil_gpu_sweep_time(const HybridNode& node, std::size_t gpu,
+                              double rows, const StencilSpec& spec);
+
+/// Largest row count whose band (grid + double buffer) fits the GPU's
+/// device memory.
+double stencil_gpu_resident_rows(const HybridNode& node, std::size_t gpu,
+                                 const StencilSpec& spec);
+
+} // namespace fpm::sim

@@ -1,0 +1,66 @@
+/// \file timeline.hpp
+/// \brief Deterministic list-scheduling timeline for overlap simulation.
+///
+/// Models the concurrency structure of kernel version 3 (and, generally,
+/// any pipelined device schedule): a set of serial *resources* (compute
+/// engine, one or two DMA engines) executes *operations* with explicit
+/// dependencies.  Operations are scheduled greedily in submission order —
+/// exactly the FIFO semantics of CUDA streams — so the makespan is a
+/// deterministic function of durations and dependencies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::sim {
+
+/// Event-driven schedule builder; see file comment.
+class Timeline {
+public:
+    using ResourceId = std::size_t;
+    using OpId = std::size_t;
+
+    /// A scheduled operation (available after its add_op call).
+    struct ScheduledOp {
+        ResourceId resource = 0;
+        double start = 0.0;
+        double end = 0.0;
+        std::string label;
+    };
+
+    /// Registers a serial execution resource (engine).
+    ResourceId add_resource(std::string name);
+
+    /// Submits an operation of `duration` seconds on `resource`, starting
+    /// no earlier than the completion of every op in `deps` and no earlier
+    /// than the resource becomes free.  Returns the op's id.
+    OpId add_op(ResourceId resource, double duration, const std::vector<OpId>& deps = {},
+                std::string label = {});
+
+    [[nodiscard]] double makespan() const;
+    [[nodiscard]] const ScheduledOp& op(OpId id) const;
+    [[nodiscard]] const std::vector<ScheduledOp>& ops() const { return ops_; }
+    [[nodiscard]] const std::string& resource_name(ResourceId id) const;
+    [[nodiscard]] std::size_t resource_count() const { return resources_.size(); }
+
+    /// Total busy time of a resource (for utilisation reporting).
+    [[nodiscard]] double busy_time(ResourceId id) const;
+
+    /// Renders a proportional ASCII Gantt chart of the schedule, one row
+    /// per resource (used by the overlap-trace bench).
+    [[nodiscard]] std::string render_gantt(std::size_t width = 72) const;
+
+private:
+    struct Resource {
+        std::string name;
+        double available = 0.0;
+        double busy = 0.0;
+    };
+    std::vector<Resource> resources_;
+    std::vector<ScheduledOp> ops_;
+};
+
+} // namespace fpm::sim

@@ -1,0 +1,168 @@
+#include "fpm/sim/node.hpp"
+
+namespace fpm::sim {
+
+void NodeSpec::validate() const {
+    FPM_CHECK(!sockets.empty(), "node must have at least one socket");
+    for (const auto& attachment : gpus) {
+        FPM_CHECK(attachment.socket_index < sockets.size(),
+                  "GPU attached to a non-existent socket");
+        FPM_CHECK(sockets[attachment.socket_index].cores >= 1,
+                  "GPU host socket must have at least one core for the "
+                  "dedicated host process");
+    }
+    FPM_CHECK(cpu_gpu_interference >= 0.0 && cpu_gpu_interference < 1.0,
+              "cpu_gpu_interference must be in [0, 1)");
+    FPM_CHECK(gpu_cpu_interference >= 0.0 && gpu_cpu_interference < 1.0,
+              "gpu_cpu_interference must be in [0, 1)");
+}
+
+NodeSpec ig_platform() {
+    NodeSpec node;
+    node.hostname = "ig.icl.utk.edu";
+
+    SocketSpec opteron;
+    opteron.name = "AMD Opteron 8439SE";
+    opteron.cores = 6;
+    opteron.clock_ghz = 2.8;
+    opteron.memory_gib = 16.0;
+    opteron.peak_core_gflops_sp = 19.0;
+    opteron.ramp_half_blocks = 2.0;
+    opteron.cache_decline_max = 0.06;
+    opteron.cache_decline_blocks = 80.0;
+    opteron.contention_gamma = 0.03;
+    node.sockets.assign(4, opteron);
+
+    GpuSpec gtx680;
+    gtx680.name = "GeForce GTX680";
+    gtx680.cuda_cores = 1536;
+    gtx680.clock_mhz = 1006.0;
+    gtx680.device_memory_mib = 2048.0;
+    gtx680.device_mem_bandwidth_gbs = 192.3;
+    gtx680.peak_gflops_sp = 1040.0;
+    gtx680.ramp_half_blocks = 15.0;
+    gtx680.pcie_pageable_gbs = 2.45;
+    gtx680.pcie_pinned_gbs = 2.4;
+    gtx680.pcie_latency_s = 25e-6;
+    gtx680.dma_engines = 2;  // concurrent bidirectional transfers
+    gtx680.copy_compute_interference = 0.55;
+    gtx680.launch_overhead_s = 20e-6;
+    gtx680.dp_ratio = 1.0 / 24.0;  // Kepler GK104 FP64
+
+    GpuSpec c870;
+    c870.name = "Tesla C870";
+    c870.cuda_cores = 128;
+    c870.clock_mhz = 600.0;
+    c870.device_memory_mib = 1536.0;
+    c870.device_mem_bandwidth_gbs = 76.8;
+    c870.peak_gflops_sp = 210.0;
+    c870.ramp_half_blocks = 8.0;
+    c870.pcie_pageable_gbs = 1.3;
+    c870.pcie_pinned_gbs = 1.5;
+    c870.pcie_latency_s = 30e-6;
+    c870.dma_engines = 1;  // single DMA engine, no concurrent transfers
+    c870.copy_compute_interference = 0.70;
+    c870.launch_overhead_s = 25e-6;
+    c870.dp_ratio = 0.0;  // G80 has no native FP64; modelled as unusable
+
+    // Fig. 6 binds rank 0 (socket 0) to the Tesla C870 host core and
+    // rank 6 (socket 1) to the GeForce GTX680 host core.
+    node.gpus.push_back(GpuAttachment{c870, 0});
+    node.gpus.push_back(GpuAttachment{gtx680, 1});
+
+    node.cpu_gpu_interference = 0.12;
+    node.gpu_cpu_interference = 0.015;
+    node.host_copy_gbs = 4.0;
+    node.message_latency_s = 30e-6;
+    return node;
+}
+
+HybridNode::HybridNode(NodeSpec spec, SimOptions options)
+    : spec_(std::move(spec)), options_(options) {
+    spec_.validate();
+    FPM_CHECK(options_.block_size > 0, "block size must be positive");
+
+    NoiseModel root(options_.noise_sigma, options_.noise_seed);
+    for (const auto& socket_spec : spec_.sockets) {
+        sockets_.emplace_back(socket_spec, options_.precision, options_.block_size);
+        noise_.push_back(root.split());
+    }
+    for (const auto& attachment : spec_.gpus) {
+        if (options_.precision == Precision::kDouble) {
+            FPM_CHECK(attachment.gpu.dp_ratio > 0.0,
+                      "GPU '" + attachment.gpu.name +
+                          "' does not support double precision");
+        }
+        gpus_.emplace_back(attachment.gpu, options_.precision, options_.block_size);
+        gpu_sims_.emplace_back(gpus_.back());
+        noise_.push_back(root.split());
+    }
+}
+
+const SocketModel& HybridNode::socket_model(std::size_t i) const {
+    FPM_CHECK(i < sockets_.size(), "socket index out of range");
+    return sockets_[i];
+}
+
+const GpuModel& HybridNode::gpu_model(std::size_t i) const {
+    FPM_CHECK(i < gpus_.size(), "GPU index out of range");
+    return gpus_[i];
+}
+
+const GpuKernelSim& HybridNode::gpu_sim(std::size_t i) const {
+    FPM_CHECK(i < gpu_sims_.size(), "GPU index out of range");
+    return gpu_sims_[i];
+}
+
+unsigned HybridNode::gpu_socket(std::size_t i) const {
+    FPM_CHECK(i < spec_.gpus.size(), "GPU index out of range");
+    return spec_.gpus[i].socket_index;
+}
+
+double HybridNode::gpu_contention_factor(std::size_t gpu,
+                                         unsigned coactive_cpu_cores) const {
+    FPM_CHECK(gpu < gpus_.size(), "GPU index out of range");
+    const unsigned socket_cores = spec_.sockets[gpu_socket(gpu)].cores;
+    const double share = static_cast<double>(
+                             std::min(coactive_cpu_cores, socket_cores)) /
+                         static_cast<double>(socket_cores);
+    return 1.0 - spec_.cpu_gpu_interference * share;
+}
+
+double HybridNode::cpu_contention_factor(bool gpu_coactive) const {
+    return gpu_coactive ? 1.0 - spec_.gpu_cpu_interference : 1.0;
+}
+
+double HybridNode::cpu_kernel_time(std::size_t socket, unsigned active_cores,
+                                   double area_blocks, bool gpu_coactive) const {
+    FPM_CHECK(socket < sockets_.size(), "socket index out of range");
+    const double base = sockets_[socket].kernel_time(area_blocks, active_cores);
+    return base / cpu_contention_factor(gpu_coactive);
+}
+
+double HybridNode::gpu_kernel_time(std::size_t gpu, double area_blocks,
+                                   KernelVersion version,
+                                   unsigned coactive_cpu_cores) const {
+    FPM_CHECK(gpu < gpu_sims_.size(), "GPU index out of range");
+    const double factor = gpu_contention_factor(gpu, coactive_cpu_cores);
+    auto [timing, actual_area] =
+        gpu_sims_[gpu].time_square_update(area_blocks, version, factor);
+    // Normalise to the requested area so speed(x) = flops(x) / time is
+    // consistent for callers sweeping fractional areas.
+    return timing.total_s * (area_blocks / actual_area);
+}
+
+double HybridNode::measure_cpu_kernel(std::size_t socket, unsigned active_cores,
+                                      double area_blocks, bool gpu_coactive) {
+    const double t = cpu_kernel_time(socket, active_cores, area_blocks, gpu_coactive);
+    return noise_[socket].apply(t);
+}
+
+double HybridNode::measure_gpu_kernel(std::size_t gpu, double area_blocks,
+                                      KernelVersion version,
+                                      unsigned coactive_cpu_cores) {
+    const double t = gpu_kernel_time(gpu, area_blocks, version, coactive_cpu_cores);
+    return noise_[sockets_.size() + gpu].apply(t);
+}
+
+} // namespace fpm::sim

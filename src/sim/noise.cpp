@@ -1,0 +1,19 @@
+#include "fpm/sim/noise.hpp"
+
+namespace fpm::sim {
+
+double NoiseModel::apply(double seconds) {
+    FPM_CHECK(seconds >= 0.0, "cannot apply noise to negative time");
+    if (sigma_ == 0.0) {
+        return seconds;
+    }
+    return seconds * rng_.lognormal(0.0, sigma_);
+}
+
+NoiseModel NoiseModel::split() {
+    NoiseModel child(sigma_);
+    child.rng_ = rng_.split();
+    return child;
+}
+
+} // namespace fpm::sim

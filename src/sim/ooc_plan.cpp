@@ -1,0 +1,164 @@
+#include "fpm/sim/ooc_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fpm/common/math.hpp"
+
+namespace fpm::sim {
+
+const char* to_string(KernelVersion v) {
+    switch (v) {
+        case KernelVersion::kV1: return "version 1";
+        case KernelVersion::kV2: return "version 2";
+        case KernelVersion::kV3: return "version 3";
+    }
+    return "unknown";
+}
+
+namespace {
+
+// Chunk row counts are snapped to a multiple of `m` so that rows*block_size
+// is a multiple of align_elements (paper: CUBLAS alignment sensitivity).
+std::int64_t alignment_multiple(std::int64_t block_size, std::int64_t align_elements) {
+    if (align_elements <= 1) {
+        return 1;
+    }
+    const std::int64_t g = std::gcd(block_size, align_elements);
+    return align_elements / g;
+}
+
+} // namespace
+
+double OocPlan::upload_c_blocks() const {
+    double total = 0.0;
+    for (const auto& chunk : chunks) {
+        if (!chunk.skip_upload) {
+            total += static_cast<double>(chunk.rows() * request.width_blocks);
+        }
+    }
+    return total;
+}
+
+double OocPlan::download_c_blocks() const {
+    double total = 0.0;
+    for (const auto& chunk : chunks) {
+        if (!chunk.skip_download) {
+            total += static_cast<double>(chunk.rows() * request.width_blocks);
+        }
+    }
+    return total;
+}
+
+double OocPlan::upload_pivot_blocks() const {
+    return static_cast<double>(request.height_blocks + request.width_blocks);
+}
+
+double OocPlan::total_area_blocks() const {
+    return static_cast<double>(request.width_blocks * request.height_blocks);
+}
+
+void OocPlan::validate() const {
+    FPM_CHECK(!chunks.empty(), "plan must contain at least one chunk");
+
+    // Update order is ascending rows for forward plans, descending for
+    // reversed plans; either way the bands must tile [0, h) exactly.
+    std::vector<OocChunk> sorted = chunks;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const OocChunk& a, const OocChunk& b) {
+                  return a.row_begin < b.row_begin;
+              });
+    FPM_CHECK(sorted.front().row_begin == 0, "first chunk must start at row 0");
+    FPM_CHECK(sorted.back().row_end == request.height_blocks,
+              "last chunk must end at the final row");
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        FPM_CHECK(sorted[i].rows() >= 1, "chunks must be non-empty");
+        if (i + 1 < sorted.size()) {
+            FPM_CHECK(sorted[i].row_end == sorted[i + 1].row_begin,
+                      "chunks must be contiguous and non-overlapping");
+        }
+    }
+    if (!in_core) {
+        for (const auto& chunk : chunks) {
+            FPM_CHECK(static_cast<double>(chunk.rows() * request.width_blocks) <=
+                          chunk_capacity_blocks + 1e-9,
+                      "chunk exceeds its device buffer capacity");
+        }
+    }
+}
+
+OocPlan build_ooc_plan(const OocPlanRequest& request) {
+    FPM_CHECK(request.width_blocks >= 1 && request.height_blocks >= 1,
+              "Ci must be at least 1x1 blocks");
+    FPM_CHECK(request.capacity_blocks > 0.0, "device capacity must be positive");
+    FPM_CHECK(request.block_size >= 1, "block size must be positive");
+
+    const std::int64_t w = request.width_blocks;
+    const std::int64_t h = request.height_blocks;
+    const double cap = request.capacity_blocks;
+    const double area = static_cast<double>(w) * static_cast<double>(h);
+
+    OocPlan plan;
+    plan.request = request;
+
+    // In-core: C + pivot column + pivot row resident simultaneously.
+    // Applies to versions 2 and 3 only; version 1 streams C regardless.
+    const bool fits = area + static_cast<double>(h) + static_cast<double>(w) <= cap;
+    if (request.version != KernelVersion::kV1 && fits) {
+        plan.in_core = true;
+        plan.chunk_capacity_blocks = cap;
+        plan.chunks.push_back(OocChunk{0, h, /*skip_upload=*/true,
+                                       /*skip_download=*/true});
+        plan.validate();
+        return plan;
+    }
+
+    // Out-of-core: choose the band height (rows per chunk).
+    //  - v1 holds one C chunk + its A part + B:  r*w + r + w <= cap
+    //  - v2/v3 hold two C buffers + two A parts + B (tail reuse /
+    //    double buffering):                     2(r*w + r) + w <= cap
+    const double denom = (request.version == KernelVersion::kV1)
+                             ? static_cast<double>(w + 1)
+                             : 2.0 * static_cast<double>(w + 1);
+    std::int64_t rows_per_chunk =
+        static_cast<std::int64_t>((cap - static_cast<double>(w)) / denom);
+    rows_per_chunk = std::min(rows_per_chunk, h);
+
+    // Alignment snap (downwards), unless that would make the chunk empty.
+    const std::int64_t m = alignment_multiple(request.block_size, request.align_elements);
+    if (rows_per_chunk >= m) {
+        rows_per_chunk = round_down(rows_per_chunk, m);
+    }
+    FPM_CHECK(rows_per_chunk >= 1,
+              "problem is infeasible: even one aligned band of Ci does not fit "
+              "the device memory");
+
+    plan.chunk_capacity_blocks = static_cast<double>(rows_per_chunk * w);
+
+    for (std::int64_t r0 = 0; r0 < h; r0 += rows_per_chunk) {
+        OocChunk chunk;
+        chunk.row_begin = r0;
+        chunk.row_end = std::min(h, r0 + rows_per_chunk);
+        plan.chunks.push_back(chunk);
+    }
+    if (request.reversed) {
+        std::reverse(plan.chunks.begin(), plan.chunks.end());
+    }
+
+    // Tail-reuse residency (versions 2 and 3): the first two chunks in
+    // update order are still on the device from the previous (reversed)
+    // iteration, and the last two stay for the next one.
+    if (request.version != KernelVersion::kV1) {
+        const std::size_t n = plan.chunks.size();
+        const std::size_t keep = std::min<std::size_t>(2, n);
+        for (std::size_t i = 0; i < keep; ++i) {
+            plan.chunks[i].skip_upload = true;
+            plan.chunks[n - 1 - i].skip_download = true;
+        }
+    }
+
+    plan.validate();
+    return plan;
+}
+
+} // namespace fpm::sim

@@ -1,0 +1,104 @@
+#include "fpm/sim/stencil_model.hpp"
+
+#include <algorithm>
+
+namespace fpm::sim {
+
+namespace {
+
+void check_spec(const StencilSpec& spec) {
+    FPM_CHECK(spec.cols >= 1, "stencil needs at least one column");
+    FPM_CHECK(spec.flops_per_cell > 0.0 && spec.bytes_per_cell > 0.0,
+              "stencil cost parameters must be positive");
+    FPM_CHECK(spec.bandwidth_efficiency > 0.0 && spec.bandwidth_efficiency <= 1.0,
+              "bandwidth efficiency must be in (0, 1]");
+    FPM_CHECK(spec.socket_bandwidth_gbs > 0.0,
+              "socket bandwidth must be positive");
+}
+
+} // namespace
+
+double stencil_cpu_sweep_time(const HybridNode& node, std::size_t socket,
+                              unsigned active_cores, double rows,
+                              const StencilSpec& spec) {
+    check_spec(spec);
+    FPM_CHECK(socket < node.socket_count(), "socket index out of range");
+    FPM_CHECK(rows > 0.0, "row count must be positive");
+    const SocketSpec& socket_spec = node.spec().sockets[socket];
+    FPM_CHECK(active_cores >= 1 && active_cores <= socket_spec.cores,
+              "active core count out of range");
+
+    const double cells = rows * static_cast<double>(spec.cols);
+
+    // Compute bound: the cores' aggregate flop rate on streaming code
+    // (no GEMM-style register blocking, so roughly 1/4 of GEMM peak).
+    const double flop_rate = static_cast<double>(active_cores) *
+                             socket_spec.peak_core_gflops_sp * 1e9 * 0.25;
+    const double compute_rate = flop_rate / spec.flops_per_cell;
+
+    // Memory bound: the socket's shared DRAM bandwidth.  A single core
+    // cannot issue enough outstanding misses to saturate the socket;
+    // roughly three cores reach the plateau.
+    const double bandwidth_share =
+        std::min(1.0, static_cast<double>(active_cores) / 3.0);
+    const double memory_rate = spec.socket_bandwidth_gbs * 1e9 *
+                               spec.bandwidth_efficiency * bandwidth_share /
+                               spec.bytes_per_cell;
+
+    // Small bands pay loop/synchronisation overhead.
+    const double ramp = rows / (rows + 2.0);
+    const double rate = std::min(compute_rate, memory_rate) * ramp;
+    return cells / rate;
+}
+
+double stencil_gpu_resident_rows(const HybridNode& node, std::size_t gpu,
+                                 const StencilSpec& spec) {
+    check_spec(spec);
+    const GpuSpec& gpu_spec = node.gpu_model(gpu).spec();
+    const double usable_bytes = gpu_spec.device_memory_mib * 1024.0 * 1024.0 *
+                                gpu_spec.usable_memory_fraction;
+    // Jacobi needs the band twice (read and write grids), single precision.
+    const double bytes_per_row = static_cast<double>(spec.cols) * 4.0 * 2.0;
+    return usable_bytes / bytes_per_row;
+}
+
+double stencil_gpu_sweep_time(const HybridNode& node, std::size_t gpu,
+                              double rows, const StencilSpec& spec) {
+    check_spec(spec);
+    FPM_CHECK(gpu < node.gpu_count(), "GPU index out of range");
+    FPM_CHECK(rows > 0.0, "row count must be positive");
+    const GpuModel& model = node.gpu_model(gpu);
+    const GpuSpec& gpu_spec = model.spec();
+
+    const double cells = rows * static_cast<double>(spec.cols);
+    const double resident_rows = stencil_gpu_resident_rows(node, gpu, spec);
+
+    // On-device sweep at device-memory bandwidth.
+    const double device_rate = gpu_spec.device_mem_bandwidth_gbs * 1e9 *
+                               spec.bandwidth_efficiency / spec.bytes_per_cell;
+    const double ramp = rows / (rows + 4.0);
+    const double compute =
+        gpu_spec.launch_overhead_s + cells / (device_rate * ramp);
+
+    if (rows <= resident_rows) {
+        // Resident band: only the halo rows cross PCIe each sweep.
+        const double halo_bytes = 2.0 * static_cast<double>(spec.halo_rows) *
+                                  static_cast<double>(spec.cols) * 4.0;
+        return compute + 2.0 * gpu_spec.pcie_latency_s +
+               2.0 * halo_bytes / (gpu_spec.pcie_pinned_gbs * 1e9);
+    }
+
+    // Out of core: the non-resident part streams over PCIe every sweep,
+    // in and out; transfers overlap compute at best, so the sweep cannot
+    // beat the PCIe streaming time.
+    const double streamed_rows = rows - resident_rows;
+    const double streamed_bytes =
+        streamed_rows * static_cast<double>(spec.cols) * 4.0;
+    const double pcie_time =
+        2.0 * (gpu_spec.pcie_latency_s +
+               streamed_bytes / (gpu_spec.pcie_pinned_gbs * 1e9));
+    return std::max(compute, pcie_time) +
+           0.1 * std::min(compute, pcie_time);  // imperfect overlap
+}
+
+} // namespace fpm::sim

@@ -1,0 +1,98 @@
+#include "fpm/sim/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fpm::sim {
+
+Timeline::ResourceId Timeline::add_resource(std::string name) {
+    resources_.push_back(Resource{std::move(name), 0.0, 0.0});
+    return resources_.size() - 1;
+}
+
+Timeline::OpId Timeline::add_op(ResourceId resource, double duration,
+                                const std::vector<OpId>& deps, std::string label) {
+    FPM_CHECK(resource < resources_.size(), "unknown resource");
+    FPM_CHECK(duration >= 0.0, "op duration must be non-negative");
+
+    double ready = resources_[resource].available;
+    for (const OpId dep : deps) {
+        FPM_CHECK(dep < ops_.size(), "dependency on an unsubmitted op");
+        ready = std::max(ready, ops_[dep].end);
+    }
+
+    ScheduledOp op;
+    op.resource = resource;
+    op.start = ready;
+    op.end = ready + duration;
+    op.label = std::move(label);
+    ops_.push_back(op);
+
+    resources_[resource].available = op.end;
+    resources_[resource].busy += duration;
+    return ops_.size() - 1;
+}
+
+double Timeline::makespan() const {
+    double end = 0.0;
+    for (const auto& op : ops_) {
+        end = std::max(end, op.end);
+    }
+    return end;
+}
+
+const Timeline::ScheduledOp& Timeline::op(OpId id) const {
+    FPM_CHECK(id < ops_.size(), "unknown op id");
+    return ops_[id];
+}
+
+const std::string& Timeline::resource_name(ResourceId id) const {
+    FPM_CHECK(id < resources_.size(), "unknown resource");
+    return resources_[id].name;
+}
+
+double Timeline::busy_time(ResourceId id) const {
+    FPM_CHECK(id < resources_.size(), "unknown resource");
+    return resources_[id].busy;
+}
+
+std::string Timeline::render_gantt(std::size_t width) const {
+    const double total = makespan();
+    std::ostringstream out;
+    if (total <= 0.0 || width < 8) {
+        out << "(empty schedule)\n";
+        return out.str();
+    }
+
+    std::size_t name_width = 0;
+    for (const auto& r : resources_) {
+        name_width = std::max(name_width, r.name.size());
+    }
+
+    for (ResourceId rid = 0; rid < resources_.size(); ++rid) {
+        std::string row(width, '.');
+        for (const auto& op : ops_) {
+            if (op.resource != rid) {
+                continue;
+            }
+            auto col = [&](double t) {
+                return static_cast<std::size_t>(
+                    std::min<double>(static_cast<double>(width) - 1.0,
+                                     std::floor(t / total * static_cast<double>(width))));
+            };
+            const std::size_t c0 = col(op.start);
+            const std::size_t c1 = std::max(c0, col(op.end - 1e-12));
+            const char mark = op.label.empty() ? '#' : op.label.front();
+            for (std::size_t c = c0; c <= c1; ++c) {
+                row[c] = mark;
+            }
+        }
+        out << resources_[rid].name;
+        out << std::string(name_width - resources_[rid].name.size() + 2, ' ');
+        out << '|' << row << "|\n";
+    }
+    return out.str();
+}
+
+} // namespace fpm::sim

@@ -1,0 +1,105 @@
+#include "fpm/trace/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "fpm/common/error.hpp"
+#include "fpm/common/format.hpp"
+
+namespace fpm::trace {
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options) {
+    FPM_CHECK(!series.empty(), "chart needs at least one series");
+    FPM_CHECK(options.width >= 16 && options.height >= 4,
+              "chart canvas too small");
+
+    double x_min = std::numeric_limits<double>::infinity();
+    double x_max = -std::numeric_limits<double>::infinity();
+    double y_min = options.auto_y_min ? std::numeric_limits<double>::infinity()
+                                      : options.y_min;
+    double y_max = -std::numeric_limits<double>::infinity();
+    for (const auto& s : series) {
+        FPM_CHECK(s.xs.size() == s.ys.size(), "series xs/ys length mismatch");
+        FPM_CHECK(!s.xs.empty(), "series must have points");
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            x_min = std::min(x_min, s.xs[i]);
+            x_max = std::max(x_max, s.xs[i]);
+            if (options.auto_y_min) {
+                y_min = std::min(y_min, s.ys[i]);
+            }
+            y_max = std::max(y_max, s.ys[i]);
+        }
+    }
+    if (x_max == x_min) {
+        x_max = x_min + 1.0;
+    }
+    if (y_max <= y_min) {
+        y_max = y_min + 1.0;
+    }
+
+    std::vector<std::string> canvas(options.height,
+                                    std::string(options.width, ' '));
+    auto plot = [&](double x, double y, char mark) {
+        const double fx = (x - x_min) / (x_max - x_min);
+        const double fy = (y - y_min) / (y_max - y_min);
+        const auto col = static_cast<std::size_t>(
+            std::round(fx * static_cast<double>(options.width - 1)));
+        const auto row_from_bottom = static_cast<std::size_t>(
+            std::round(fy * static_cast<double>(options.height - 1)));
+        const std::size_t row = options.height - 1 - std::min(row_from_bottom,
+                                                              options.height - 1);
+        canvas[row][std::min(col, options.width - 1)] = mark;
+    };
+
+    for (const auto& s : series) {
+        // Dense linear interpolation between points for a line look.
+        for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+            const int steps = 24;
+            for (int k = 0; k <= steps; ++k) {
+                const double f = static_cast<double>(k) / steps;
+                plot(s.xs[i] + (s.xs[i + 1] - s.xs[i]) * f,
+                     s.ys[i] + (s.ys[i + 1] - s.ys[i]) * f, s.mark);
+            }
+        }
+        if (s.xs.size() == 1) {
+            plot(s.xs[0], s.ys[0], s.mark);
+        }
+    }
+
+    std::ostringstream os;
+    const std::string top_label = fixed(y_max, 1);
+    const std::string bottom_label = fixed(y_min, 1);
+    const std::size_t gutter = std::max(top_label.size(), bottom_label.size());
+
+    if (!options.y_label.empty()) {
+        os << std::string(gutter + 1, ' ') << options.y_label << '\n';
+    }
+    for (std::size_t r = 0; r < options.height; ++r) {
+        std::string label(gutter, ' ');
+        if (r == 0) {
+            label = pad_left(top_label, gutter);
+        } else if (r == options.height - 1) {
+            label = pad_left(bottom_label, gutter);
+        }
+        os << label << '|' << canvas[r] << '\n';
+    }
+    os << std::string(gutter, ' ') << '+' << std::string(options.width, '-')
+       << '\n';
+    os << std::string(gutter + 1, ' ') << pad_right(fixed(x_min, 0), options.width / 2)
+       << pad_left(fixed(x_max, 0), options.width - options.width / 2) << '\n';
+    if (!options.x_label.empty()) {
+        os << std::string(gutter + 1, ' ')
+           << pad_left(options.x_label,
+                       options.width / 2 + options.x_label.size() / 2)
+           << '\n';
+    }
+    for (const auto& s : series) {
+        os << std::string(gutter + 1, ' ') << s.mark << " = " << s.label << '\n';
+    }
+    return os.str();
+}
+
+} // namespace fpm::trace

@@ -1,0 +1,52 @@
+#include "fpm/trace/csv.hpp"
+
+#include <sstream>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::trace {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+    FPM_CHECK(out_.good(), "cannot open CSV file: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+        return cell;
+    }
+    std::string quoted = "\"";
+    for (const char ch : cell) {
+        if (ch == '"') {
+            quoted += "\"\"";
+        } else {
+            quoted += ch;
+        }
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) {
+            out_ << ',';
+        }
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+    FPM_CHECK(out_.good(), "CSV write failed: " + path_);
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (const double value : cells) {
+        std::ostringstream os;
+        os << value;
+        text.push_back(os.str());
+    }
+    write_row(text);
+}
+
+} // namespace fpm::trace

@@ -1,0 +1,33 @@
+/// \file ascii_chart.hpp
+/// \brief Terminal line charts for the figure-reproducing benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpm::trace {
+
+/// One plotted series.
+struct Series {
+    std::string label;
+    char mark = '*';
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/// Options of the chart canvas.
+struct ChartOptions {
+    std::size_t width = 72;   ///< plot columns
+    std::size_t height = 20;  ///< plot rows
+    std::string x_label;
+    std::string y_label;
+    double y_min = 0.0;       ///< fixed lower bound (figures start at 0)
+    bool auto_y_min = false;
+};
+
+/// Renders a multi-series scatter/line chart with axes and a legend.
+/// Series with mismatched xs/ys sizes throw fpm::Error.
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options = {});
+
+} // namespace fpm::trace

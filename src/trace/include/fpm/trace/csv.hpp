@@ -1,0 +1,30 @@
+/// \file csv.hpp
+/// \brief Minimal CSV writer (benches dump raw series next to the tables
+///        so the paper's figures can be re-plotted externally).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fpm::trace {
+
+/// RFC-4180-ish CSV writer with quoting of separators/quotes/newlines.
+class CsvWriter {
+public:
+    /// Opens (truncates) `path`; throws fpm::Error on failure.
+    explicit CsvWriter(const std::string& path);
+
+    void write_row(const std::vector<std::string>& cells);
+    void write_row(const std::vector<double>& cells);
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+
+    static std::string escape(const std::string& cell);
+};
+
+} // namespace fpm::trace

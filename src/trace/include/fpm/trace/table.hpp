@@ -1,0 +1,50 @@
+/// \file table.hpp
+/// \brief Aligned plain-text tables for bench output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpm::trace {
+
+/// Column-aligned text table; numeric cells are right-aligned, text cells
+/// left-aligned.  Used by every bench to print the reproduced paper
+/// tables.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Adds a row; cells are strings (format numbers with fpm::fixed).
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: starts a new row builder.
+    class RowBuilder {
+    public:
+        explicit RowBuilder(Table& table) : table_(table) {}
+        RowBuilder& cell(const std::string& text);
+        RowBuilder& cell(double value, int decimals = 2);
+        RowBuilder& cell(std::int64_t value);
+        ~RowBuilder();
+
+        RowBuilder(const RowBuilder&) = delete;
+        RowBuilder& operator=(const RowBuilder&) = delete;
+
+    private:
+        Table& table_;
+        std::vector<std::string> cells_;
+    };
+    RowBuilder row() { return RowBuilder(*this); }
+
+    /// Renders with a header rule and column padding.
+    [[nodiscard]] std::string render() const;
+    void print(std::ostream& os) const;
+    void print() const;  ///< to stdout
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fpm::trace

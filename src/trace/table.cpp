@@ -1,0 +1,93 @@
+#include "fpm/trace/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "fpm/common/error.hpp"
+#include "fpm/common/format.hpp"
+
+namespace fpm::trace {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    FPM_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    FPM_CHECK(cells.size() == headers_.size(),
+              "row width must match the header");
+    rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& text) {
+    cells_.push_back(text);
+    return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double value, int decimals) {
+    cells_.push_back(fixed(value, decimals));
+    return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t value) {
+    cells_.push_back(std::to_string(value));
+    return *this;
+}
+
+Table::RowBuilder::~RowBuilder() {
+    table_.add_row(std::move(cells_));
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto is_numeric = [](const std::string& text) {
+        if (text.empty()) {
+            return false;
+        }
+        for (const char ch : text) {
+            if ((ch < '0' || ch > '9') && ch != '.' && ch != '-' && ch != '+' &&
+                ch != 'e' && ch != 'E') {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "" : "  ") << pad_right(headers_[c], widths[c]);
+    }
+    os << '\n';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "" : "  ") << std::string(widths[c], '-');
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << (is_numeric(row[c]) ? pad_left(row[c], widths[c])
+                                      : pad_right(row[c], widths[c]));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    os << render();
+}
+
+void Table::print() const {
+    print(std::cout);
+}
+
+} // namespace fpm::trace

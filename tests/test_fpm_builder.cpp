@@ -1,0 +1,180 @@
+// Tests for the empirical FPM builder: grid placement, adaptive refinement
+// around performance cliffs, and integration with the reliability loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpm/common/rng.hpp"
+#include "fpm/core/fpm_builder.hpp"
+#include "fpm/core/kernel_bench.hpp"
+#include "fpm/sim/node.hpp"
+
+namespace fpm::core {
+namespace {
+
+/// Synthetic device whose speed halves abruptly at x = 500 (a memory
+/// cliff), with an analytic form the tests can compare against.
+class CliffBench final : public KernelBenchmark {
+public:
+    [[nodiscard]] std::string name() const override { return "cliff"; }
+    double run(double x) override {
+        ++calls_;
+        return x / speed(x);
+    }
+    static double speed(double x) { return x < 500.0 ? 100.0 : 50.0; }
+    std::size_t calls() const { return calls_; }
+
+private:
+    std::size_t calls_ = 0;
+};
+
+FpmBuildOptions quick_options(double x_min = 4.0, double x_max = 2000.0) {
+    FpmBuildOptions options;
+    options.x_min = x_min;
+    options.x_max = x_max;
+    options.initial_points = 8;
+    options.max_points = 32;
+    options.reliability.min_repetitions = 1;
+    options.reliability.max_repetitions = 1;
+    return options;
+}
+
+TEST(FpmBuilder, CoversRequestedRange) {
+    CliffBench bench;
+    const SpeedFunction fn = build_fpm(bench, quick_options());
+    EXPECT_NEAR(fn.points().front().x, 4.0, 1e-9);
+    EXPECT_NEAR(fn.points().back().x, 2000.0, 1e-6);
+    EXPECT_EQ(fn.name(), "cliff");
+}
+
+TEST(FpmBuilder, RefinementLocalisesTheCliff) {
+    CliffBench bench;
+    const SpeedFunction fn = build_fpm(bench, quick_options());
+
+    // The interpolated model must track the true speed closely on both
+    // sides of the cliff; without refinement the geometric grid would
+    // interpolate across it with a large error band.
+    EXPECT_NEAR(fn.speed(300.0), 100.0, 5.0);
+    EXPECT_NEAR(fn.speed(1200.0), 50.0, 2.5);
+
+    // The transition interval pinned down by refinement must be narrow:
+    // find the knots bracketing the cliff.
+    double below = 0.0;
+    double above = 1e18;
+    for (const auto& point : fn.points()) {
+        if (point.speed > 90.0 && point.x > below) {
+            below = point.x;
+        }
+        if (point.speed < 60.0 && point.x < above) {
+            above = point.x;
+        }
+    }
+    EXPECT_LT(above - below, 200.0)
+        << "cliff bracket [" << below << ", " << above << "] too wide";
+}
+
+TEST(FpmBuilder, RespectsMaxPoints) {
+    CliffBench bench;
+    FpmBuildOptions options = quick_options();
+    options.max_points = 10;
+    const SpeedFunction fn = build_fpm(bench, options);
+    EXPECT_LE(fn.points().size(), 10U);
+}
+
+TEST(FpmBuilder, SmoothDeviceNeedsNoRefinement) {
+    class SmoothBench final : public KernelBenchmark {
+    public:
+        [[nodiscard]] std::string name() const override { return "smooth"; }
+        double run(double x) override {
+            ++calls;
+            return x / 80.0;
+        }
+        std::size_t calls = 0;
+    } bench;
+    FpmBuildOptions options = quick_options();
+    const SpeedFunction fn = build_fpm(bench, options);
+    EXPECT_EQ(fn.points().size(), options.initial_points);
+    // Initial grid + one midpoint probe per initial segment.
+    EXPECT_EQ(bench.calls, options.initial_points + (options.initial_points - 1));
+}
+
+TEST(FpmBuilder, LinearGridOption) {
+    CliffBench bench;
+    FpmBuildOptions options = quick_options(100.0, 800.0);
+    options.geometric_grid = false;
+    options.initial_points = 8;
+    options.max_points = 8;  // no refinement: pure grid
+    const SpeedFunction fn = build_fpm(bench, options);
+    ASSERT_EQ(fn.points().size(), 8U);
+    const double step = fn.points()[1].x - fn.points()[0].x;
+    EXPECT_NEAR(step, 100.0, 1e-9);
+}
+
+TEST(FpmBuilder, HonoursDeviceMaxProblem) {
+    class BoundedBench final : public KernelBenchmark {
+    public:
+        [[nodiscard]] std::string name() const override { return "bounded"; }
+        double run(double x) override { return x / 10.0; }
+        [[nodiscard]] double max_problem() const override { return 300.0; }
+    } bench;
+    const SpeedFunction fn = build_fpm(bench, quick_options(4.0, 2000.0));
+    EXPECT_LE(fn.points().back().x, 300.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(fn.max_problem(), 300.0);
+}
+
+TEST(FpmBuilder, OptionValidation) {
+    CliffBench bench;
+    FpmBuildOptions options = quick_options();
+    options.x_min = 0.0;
+    EXPECT_THROW(build_fpm(bench, options), fpm::Error);
+    options = quick_options();
+    options.x_max = options.x_min;
+    EXPECT_THROW(build_fpm(bench, options), fpm::Error);
+    options = quick_options();
+    options.initial_points = 1;
+    EXPECT_THROW(build_fpm(bench, options), fpm::Error);
+    options = quick_options();
+    options.max_points = options.initial_points - 1;
+    EXPECT_THROW(build_fpm(bench, options), fpm::Error);
+}
+
+TEST(FpmBuilder, RangeBeyondDeviceCapacityThrows) {
+    class TinyBench final : public KernelBenchmark {
+    public:
+        [[nodiscard]] std::string name() const override { return "tiny"; }
+        double run(double x) override { return x; }
+        [[nodiscard]] double max_problem() const override { return 2.0; }
+    } bench;
+    EXPECT_THROW(build_fpm(bench, quick_options(4.0, 100.0)), fpm::Error);
+}
+
+TEST(FpmBuilder, NoisyMeasurementsStillProduceUsableModel) {
+    // Simulated GTX680 with 3 % measurement noise: the reliability loop
+    // averages it out and the model lands near the exact curve.
+    sim::HybridNode noisy(sim::ig_platform(), {.noise_sigma = 0.03});
+    sim::HybridNode exact(sim::ig_platform(), {});
+    SimGpuKernelBench bench(noisy, 1, sim::KernelVersion::kV2);
+
+    FpmBuildOptions options = quick_options(8.0, 3000.0);
+    options.reliability.min_repetitions = 3;
+    options.reliability.max_repetitions = 40;
+    options.reliability.target_relative_error = 0.02;
+    const SpeedFunction fn = build_fpm(bench, options);
+
+    for (double x : {100.0, 700.0, 2500.0}) {
+        const double exact_speed =
+            x / exact.gpu_kernel_time(1, x, sim::KernelVersion::kV2);
+        EXPECT_NEAR(fn.speed(x) / exact_speed, 1.0, 0.12) << "x=" << x;
+    }
+}
+
+TEST(FpmBuilder, CapturesGpuMemoryCliffOnSimulatedNode) {
+    sim::HybridNode node(sim::ig_platform(), {});
+    SimGpuKernelBench bench(node, 1, sim::KernelVersion::kV2);
+    const SpeedFunction fn = build_fpm(bench, quick_options(8.0, 4000.0));
+    const double cap = node.gpu_model(1).capacity_blocks();
+    EXPECT_GT(fn.speed(cap * 0.7), 1.5 * fn.speed(cap * 2.0));
+}
+
+} // namespace
+} // namespace fpm::core

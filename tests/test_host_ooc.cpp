@@ -1,0 +1,164 @@
+// Numerical tests for the host reference executor of the out-of-core GPU
+// kernel plans: versions 1-3 must compute exactly what a plain GEMM does,
+// across repeated (serpentine) invocations, and their traffic counters
+// must reflect the tail-reuse savings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fpm/app/host_ooc.hpp"
+#include "fpm/blas/gemm.hpp"
+#include "fpm/common/rng.hpp"
+
+namespace fpm::app {
+namespace {
+
+constexpr std::size_t kBlock = 8;  // small blocks keep the tests fast
+
+blas::Matrix<float> random_matrix(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed) {
+    blas::Matrix<float> m(rows, cols);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            m(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+    }
+    return m;
+}
+
+/// Runs `iterations` kernel invocations with fresh pivots through the
+/// executor and through a plain GEMM; returns the max element difference.
+double run_and_compare(sim::KernelVersion version, std::int64_t w_blocks,
+                       std::int64_t h_blocks, double capacity_blocks,
+                       int iterations) {
+    const std::size_t w = w_blocks * kBlock;
+    const std::size_t h = h_blocks * kBlock;
+
+    blas::Matrix<float> c_actual(h, w, 0.0F);
+    blas::Matrix<float> c_expected(h, w, 0.0F);
+    HostOocExecutor executor(kBlock, capacity_blocks, version);
+
+    for (int k = 0; k < iterations; ++k) {
+        const auto a_col = random_matrix(h, kBlock, 100 + k);
+        const auto b_row = random_matrix(kBlock, w, 200 + k);
+        executor.invoke(a_col.view(), b_row.view(), c_actual.view());
+        blas::gemm<float>(a_col.view(), b_row.view(), c_expected.view());
+    }
+    executor.flush(c_actual.view());
+    return blas::max_abs_diff<float>(c_actual.view(), c_expected.view());
+}
+
+using OocCase = std::tuple<sim::KernelVersion, int, int, double, int>;
+
+class HostOocNumerics : public ::testing::TestWithParam<OocCase> {};
+
+TEST_P(HostOocNumerics, MatchesPlainGemm) {
+    const auto [version, w, h, cap, iters] = GetParam();
+    EXPECT_LT(run_and_compare(version, w, h, cap, iters), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HostOocNumerics,
+    ::testing::Values(
+        // In-core: whole C resident (v2/v3).
+        OocCase{sim::KernelVersion::kV2, 4, 4, 100.0, 5},
+        OocCase{sim::KernelVersion::kV3, 4, 4, 100.0, 5},
+        // Version 1 always streams.
+        OocCase{sim::KernelVersion::kV1, 4, 4, 100.0, 5},
+        OocCase{sim::KernelVersion::kV1, 6, 7, 20.0, 4},
+        // Out-of-core with several chunks, even and odd iteration counts
+        // (the serpentine order flips between invocations).
+        OocCase{sim::KernelVersion::kV2, 6, 8, 40.0, 4},
+        OocCase{sim::KernelVersion::kV2, 6, 8, 40.0, 5},
+        OocCase{sim::KernelVersion::kV3, 6, 8, 40.0, 5},
+        OocCase{sim::KernelVersion::kV2, 5, 12, 30.0, 6},
+        OocCase{sim::KernelVersion::kV3, 9, 9, 50.0, 3},
+        // Tall and slim C rectangles.
+        OocCase{sim::KernelVersion::kV2, 1, 16, 10.0, 4},
+        OocCase{sim::KernelVersion::kV2, 16, 1, 60.0, 4}));
+
+TEST(HostOoc, InCoreTrafficIsPivotsOnly) {
+    const std::int64_t w = 4;
+    const std::int64_t h = 4;
+    HostOocExecutor executor(kBlock, 100.0, sim::KernelVersion::kV2);
+    blas::Matrix<float> c(h * kBlock, w * kBlock, 0.0F);
+
+    const int iters = 4;
+    for (int k = 0; k < iters; ++k) {
+        const auto a_col = random_matrix(h * kBlock, kBlock, k);
+        const auto b_row = random_matrix(kBlock, w * kBlock, 50 + k);
+        executor.invoke(a_col.view(), b_row.view(), c.view());
+    }
+    // One bootstrap upload of C, nothing else until flush.
+    EXPECT_DOUBLE_EQ(executor.traffic().upload_c_blocks, 16.0);
+    EXPECT_DOUBLE_EQ(executor.traffic().download_c_blocks, 0.0);
+    EXPECT_DOUBLE_EQ(executor.traffic().upload_pivot_blocks,
+                     static_cast<double>(iters) * (w + h));
+    executor.flush(c.view());
+    EXPECT_DOUBLE_EQ(executor.traffic().download_c_blocks, 16.0);
+    EXPECT_EQ(executor.resident_chunks(), 0U);
+}
+
+TEST(HostOoc, TailReuseSavesTrafficVersusVersion1) {
+    // Same out-of-core geometry, many iterations: v2 must move markedly
+    // less C data than v1.
+    const std::int64_t w = 6;
+    const std::int64_t h = 8;
+    const double cap = 40.0;
+    const int iters = 6;
+
+    auto total_c_traffic = [&](sim::KernelVersion version) {
+        HostOocExecutor executor(kBlock, cap, version);
+        blas::Matrix<float> c(h * kBlock, w * kBlock, 0.0F);
+        for (int k = 0; k < iters; ++k) {
+            const auto a_col = random_matrix(h * kBlock, kBlock, k);
+            const auto b_row = random_matrix(kBlock, w * kBlock, 70 + k);
+            executor.invoke(a_col.view(), b_row.view(), c.view());
+        }
+        executor.flush(c.view());
+        return executor.traffic().upload_c_blocks +
+               executor.traffic().download_c_blocks;
+    };
+
+    const double v1 = total_c_traffic(sim::KernelVersion::kV1);
+    const double v2 = total_c_traffic(sim::KernelVersion::kV2);
+    EXPECT_LT(v2, 0.8 * v1);
+    // v1 streams everything every iteration: exactly 2 * area * iters.
+    EXPECT_DOUBLE_EQ(v1, 2.0 * 48.0 * iters);
+}
+
+TEST(HostOoc, ResidencyNeverExceedsTwoChunks) {
+    const std::int64_t w = 6;
+    const std::int64_t h = 10;
+    HostOocExecutor executor(kBlock, 30.0, sim::KernelVersion::kV2);
+    blas::Matrix<float> c(h * kBlock, w * kBlock, 0.0F);
+    for (int k = 0; k < 5; ++k) {
+        const auto a_col = random_matrix(h * kBlock, kBlock, k);
+        const auto b_row = random_matrix(kBlock, w * kBlock, 90 + k);
+        executor.invoke(a_col.view(), b_row.view(), c.view());
+        EXPECT_LE(executor.resident_chunks(), 2U);
+    }
+}
+
+TEST(HostOoc, ShapeValidation) {
+    HostOocExecutor executor(kBlock, 100.0, sim::KernelVersion::kV2);
+    blas::Matrix<float> c(2 * kBlock, 2 * kBlock);
+    blas::Matrix<float> bad_a(2 * kBlock, 2 * kBlock);  // A must be one block wide
+    blas::Matrix<float> b_row(kBlock, 2 * kBlock);
+    EXPECT_THROW(executor.invoke(bad_a.view(), b_row.view(), c.view()),
+                 fpm::Error);
+    blas::Matrix<float> a_col(2 * kBlock, kBlock);
+    blas::Matrix<float> bad_b(kBlock, 3 * kBlock);  // wrong width
+    EXPECT_THROW(executor.invoke(a_col.view(), bad_b.view(), c.view()),
+                 fpm::Error);
+}
+
+TEST(HostOoc, ConstructorValidation) {
+    EXPECT_THROW(HostOocExecutor(0, 10.0, sim::KernelVersion::kV2), fpm::Error);
+    EXPECT_THROW(HostOocExecutor(kBlock, 0.0, sim::KernelVersion::kV2),
+                 fpm::Error);
+}
+
+} // namespace
+} // namespace fpm::app

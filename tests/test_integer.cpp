@@ -1,0 +1,162 @@
+// Tests for integer rounding of continuous partitions: largest-remainder
+// conservation, capacity repair and the makespan-reducing local search.
+#include <gtest/gtest.h>
+
+#include "fpm/part/integer.hpp"
+
+namespace fpm::part {
+namespace {
+
+using core::SpeedFunction;
+
+TEST(LargestRemainder, PreservesTotalExactly) {
+    Partition1D p;
+    p.share = {10.4, 20.3, 30.3};  // sums to 61
+    const auto rounded = round_largest_remainder(p, 61);
+    EXPECT_EQ(rounded.total(), 61);
+    // Each device within one block of its continuous share.
+    EXPECT_NEAR(static_cast<double>(rounded.blocks[0]), 10.4, 1.0);
+    EXPECT_NEAR(static_cast<double>(rounded.blocks[1]), 20.3, 1.0);
+    EXPECT_NEAR(static_cast<double>(rounded.blocks[2]), 30.3, 1.0);
+}
+
+TEST(LargestRemainder, LargestFractionsWin) {
+    Partition1D p;
+    p.share = {1.9, 1.1, 1.0};  // sums to 4
+    const auto rounded = round_largest_remainder(p, 4);
+    EXPECT_EQ(rounded.blocks[0], 2);
+    EXPECT_EQ(rounded.blocks[1], 1);
+    EXPECT_EQ(rounded.blocks[2], 1);
+}
+
+TEST(LargestRemainder, ExactIntegersPassThrough) {
+    Partition1D p;
+    p.share = {5.0, 7.0, 0.0};
+    const auto rounded = round_largest_remainder(p, 12);
+    EXPECT_EQ(rounded.blocks[0], 5);
+    EXPECT_EQ(rounded.blocks[1], 7);
+    EXPECT_EQ(rounded.blocks[2], 0);
+}
+
+TEST(LargestRemainder, Validation) {
+    Partition1D empty;
+    EXPECT_THROW(round_largest_remainder(empty, 10), fpm::Error);
+    Partition1D negative;
+    negative.share = {-1.0, 2.0};
+    EXPECT_THROW(round_largest_remainder(negative, 1), fpm::Error);
+    Partition1D mismatched;
+    mismatched.share = {1.0, 2.0};  // sums to 3, asked for 10
+    EXPECT_THROW(round_largest_remainder(mismatched, 10), fpm::Error);
+    Partition1D overfull;
+    overfull.share = {6.0, 6.0};
+    EXPECT_THROW(round_largest_remainder(overfull, 10), fpm::Error);
+}
+
+TEST(RoundPartition, KeepsSumAndRespectsCapacity) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction({{1.0, 10.0}, {100.0, 10.0}}, "gpu", 50.0),
+        SpeedFunction::constant(5.0, "cpu"),
+    };
+    Partition1D p;
+    p.share = {49.6, 50.4};
+    const auto rounded = round_partition(p, 100, models);
+    EXPECT_EQ(rounded.total(), 100);
+    EXPECT_LE(static_cast<double>(rounded.blocks[0]), 50.0);
+}
+
+TEST(RoundPartition, LocalSearchNeverWorsensMakespan) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction::constant(3.0, "a"),
+        SpeedFunction::constant(11.0, "b"),
+        SpeedFunction::constant(23.0, "c"),
+    };
+    Partition1D p;
+    // Deliberately unbalanced continuous shares that still sum to 100.
+    p.share = {40.0, 30.0, 30.0};
+    const auto naive = round_largest_remainder(p, 100);
+    const auto refined = round_partition(p, 100, models);
+    EXPECT_EQ(refined.total(), 100);
+    EXPECT_LE(makespan(models, std::span<const std::int64_t>(refined.blocks)),
+              makespan(models, std::span<const std::int64_t>(naive.blocks)) +
+                  1e-12);
+}
+
+TEST(RoundPartition, LocalSearchFindsBalancedSolution) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction::constant(1.0, "slow"),
+        SpeedFunction::constant(9.0, "fast"),
+    };
+    Partition1D p;
+    p.share = {50.0, 50.0};  // badly unbalanced starting point
+    const auto refined = round_partition(p, 100, models);
+    // Optimum: 10 / 90 (both take 10 s).
+    const double t =
+        makespan(models, std::span<const std::int64_t>(refined.blocks));
+    EXPECT_NEAR(t, 10.0, 1.0);
+}
+
+TEST(RoundPartition, CapacityOverflowRepaired) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction({{1.0, 100.0}}, "gpu", 10.0),
+        SpeedFunction::constant(1.0, "cpu"),
+    };
+    Partition1D p;
+    p.share = {10.6, 9.4};  // remainder rounding could push gpu to 11 > cap
+    const auto rounded = round_partition(p, 20, models);
+    EXPECT_EQ(rounded.total(), 20);
+    EXPECT_LE(rounded.blocks[0], 10);
+}
+
+TEST(RoundPartition, ImpossibleCapacityThrows) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction({{1.0, 10.0}}, "g1", 5.0),
+        SpeedFunction({{1.0, 10.0}}, "g2", 5.0),
+    };
+    Partition1D p;
+    p.share = {5.0, 5.0};
+    EXPECT_NO_THROW(round_partition(p, 10, models));
+
+    // A genuinely infeasible total: no redistribution can fit 10 blocks
+    // into capacities 5 + 4.
+    const std::vector<SpeedFunction> tight = {
+        SpeedFunction({{1.0, 10.0}}, "g1", 5.0),
+        SpeedFunction({{1.0, 10.0}}, "g2", 4.0),
+    };
+    Partition1D overflow;
+    overflow.share = {6.0, 4.0};
+    EXPECT_THROW(round_partition(overflow, 10, tight), fpm::Error);
+
+    // A repairable overflow moves the excess to the device with room.
+    const auto repaired = round_partition(overflow, 10, models);
+    EXPECT_EQ(repaired.blocks[0], 5);
+    EXPECT_EQ(repaired.blocks[1], 5);
+}
+
+TEST(RoundPartition, ZeroBlocksForZeroShares) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction::constant(1.0),
+        SpeedFunction::constant(1.0),
+    };
+    Partition1D p;
+    p.share = {0.0, 4.0};
+    const auto rounded = round_partition(p, 4, models);
+    EXPECT_EQ(rounded.blocks[0] + rounded.blocks[1], 4);
+}
+
+TEST(RoundPartition, MoreDevicesThanBlocks) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction::constant(1.0), SpeedFunction::constant(1.0),
+        SpeedFunction::constant(1.0), SpeedFunction::constant(1.0),
+        SpeedFunction::constant(1.0)};
+    Partition1D p;
+    p.share = {0.4, 0.4, 0.4, 0.4, 0.4};
+    const auto rounded = round_partition(p, 2, models);
+    EXPECT_EQ(rounded.total(), 2);
+    for (const auto blocks : rounded.blocks) {
+        EXPECT_GE(blocks, 0);
+        EXPECT_LE(blocks, 1);
+    }
+}
+
+} // namespace
+} // namespace fpm::part

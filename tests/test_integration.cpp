@@ -1,0 +1,210 @@
+// Integration tests: the full pipeline of the paper on the simulated
+// hybrid node — build FPMs/CPMs, partition, run the application — and the
+// paper's qualitative claims (section VI).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fpm/app/matmul_sim.hpp"
+#include "fpm/part/fpm_partitioner.hpp"
+#include "fpm/part/integer.hpp"
+
+namespace fpm::app {
+namespace {
+
+core::FpmBuildOptions fast_fpm_options(double x_max) {
+    core::FpmBuildOptions options;
+    options.x_min = 4.0;
+    options.x_max = x_max;
+    options.initial_points = 12;
+    options.max_points = 36;
+    options.reliability.min_repetitions = 1;
+    options.reliability.max_repetitions = 1;
+    return options;
+}
+
+class IntegrationTest : public ::testing::Test {
+protected:
+    sim::HybridNode node_{sim::ig_platform(), {}};
+
+    std::vector<std::int64_t> fpm_partition(std::int64_t n,
+                                            const std::vector<core::SpeedFunction>& fpms) {
+        const auto continuous =
+            part::partition_fpm(fpms, static_cast<double>(n * n));
+        return part::round_partition(continuous.partition, n * n, fpms).blocks;
+    }
+
+    std::vector<std::int64_t> cpm_partition(std::int64_t n,
+                                            const std::vector<double>& speeds) {
+        const auto continuous =
+            part::partition_cpm(speeds, static_cast<double>(n * n));
+        return part::round_largest_remainder(continuous, n * n).blocks;
+    }
+
+    std::vector<std::int64_t> even_partition(std::size_t devices, std::int64_t n) {
+        const auto continuous =
+            part::partition_homogeneous(devices, static_cast<double>(n * n));
+        return part::round_largest_remainder(continuous, n * n).blocks;
+    }
+};
+
+TEST_F(IntegrationTest, FpmPartitionBalancesHybridNode) {
+    const DeviceSet set = hybrid_devices(node_);
+    const auto fpms = build_device_fpms(node_, set, fast_fpm_options(5200.0));
+    const std::int64_t n = 60;
+    const auto blocks = fpm_partition(n, fpms);
+
+    EXPECT_EQ(std::accumulate(blocks.begin(), blocks.end(), std::int64_t{0}),
+              n * n);
+
+    const auto result = run_simulated_app(node_, set, blocks, n);
+    // All devices finish within a tight band of the straggler.
+    const double makespan = *std::max_element(result.device_iter_time.begin(),
+                                              result.device_iter_time.end());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        if (blocks[i] > 0) {
+            EXPECT_GT(result.device_iter_time[i], 0.75 * makespan)
+                << set.devices[i].name;
+        }
+    }
+}
+
+TEST_F(IntegrationTest, CpmOverloadsGpuBeyondMemoryLimit) {
+    // Table III: the CPM (built at the even share of a small problem)
+    // assigns the GTX680 proportionally more than the FPM once the
+    // problem exceeds its device memory; its blocks-to-S6 ratio stays
+    // near the in-core speed ratio (~8-9x at n = 70) while the FPM ratio
+    // falls to the out-of-core ratio (~4-6x).
+    const DeviceSet set = hybrid_devices(node_);
+    const auto fpms = build_device_fpms(node_, set, fast_fpm_options(5200.0));
+
+    std::size_t gtx = 0;
+    std::size_t s6 = 0;
+    for (std::size_t i = 0; i < set.devices.size(); ++i) {
+        if (set.devices[i].name == "GeForce GTX680") {
+            gtx = i;
+        }
+        if (set.devices[i].kind == DeviceKind::kCpuSocket &&
+            set.devices[i].cores == 6) {
+            s6 = i;
+        }
+    }
+
+    const std::int64_t n = 70;
+    const auto cpm_speeds = build_device_cpms(node_, set, static_cast<double>(n * n));
+    const auto cpm_blocks = cpm_partition(n, cpm_speeds);
+    const auto fpm_blocks = fpm_partition(n, fpms);
+
+    const double cpm_ratio = static_cast<double>(cpm_blocks[gtx]) /
+                             static_cast<double>(cpm_blocks[s6]);
+    const double fpm_ratio = static_cast<double>(fpm_blocks[gtx]) /
+                             static_cast<double>(fpm_blocks[s6]);
+    EXPECT_GT(cpm_ratio, 1.3 * fpm_ratio);
+    EXPECT_GT(cpm_ratio, 7.0);
+    EXPECT_LT(fpm_ratio, 6.5);
+}
+
+TEST_F(IntegrationTest, FpmBeatsCpmAndHomogeneousAtLargeSizes) {
+    // Fig. 7: homogeneous worst, CPM fails past the memory cliff, FPM
+    // best; ~30 % / ~45 % reductions in the large range.
+    const DeviceSet set = hybrid_devices(node_);
+    const auto fpms = build_device_fpms(node_, set, fast_fpm_options(5200.0));
+
+    const std::int64_t n = 70;
+    const auto cpm_speeds = build_device_cpms(node_, set, static_cast<double>(n * n));
+
+    const auto t_even =
+        run_simulated_app(node_, set, even_partition(set.devices.size(), n), n)
+            .total_time;
+    const auto t_cpm =
+        run_simulated_app(node_, set, cpm_partition(n, cpm_speeds), n)
+            .total_time;
+    const auto t_fpm =
+        run_simulated_app(node_, set, fpm_partition(n, fpms), n).total_time;
+
+    EXPECT_LT(t_fpm, t_cpm);
+    EXPECT_LT(t_cpm, t_even);
+    EXPECT_LT(t_fpm, 0.85 * t_cpm);   // paper: ~30 % better
+    EXPECT_LT(t_fpm, 0.70 * t_even);  // paper: ~45 % better
+}
+
+TEST_F(IntegrationTest, CpmMatchesFpmWhileProblemsAreSmall) {
+    // Fig. 7: for small problems both model-based partitionings balance.
+    const DeviceSet set = hybrid_devices(node_);
+    const auto fpms = build_device_fpms(node_, set, fast_fpm_options(5200.0));
+
+    const std::int64_t n = 30;  // everything fits the GTX680's memory
+    const auto cpm_speeds = build_device_cpms(node_, set, static_cast<double>(n * n));
+    const auto t_cpm =
+        run_simulated_app(node_, set, cpm_partition(n, cpm_speeds), n)
+            .total_time;
+    const auto t_fpm =
+        run_simulated_app(node_, set, fpm_partition(n, fpms), n).total_time;
+    EXPECT_NEAR(t_cpm / t_fpm, 1.0, 0.12);
+}
+
+TEST_F(IntegrationTest, TableIIOrderingReproduced) {
+    // Hybrid-FPM < min(CPUs-only, GTX680-only) for every paper size, and
+    // the CPU/GPU crossover lands between n = 50 and n = 60.
+    const DeviceSet cpu_set = cpu_only_devices(node_);
+    const DeviceSet gpu_set = single_gpu_devices(node_, 1, sim::KernelVersion::kV2);
+    const DeviceSet hybrid_set = hybrid_devices(node_);
+    const auto fpms = build_device_fpms(node_, hybrid_set, fast_fpm_options(5200.0));
+
+    double previous_gpu_advantage = 1e9;
+    for (const std::int64_t n : {40, 50, 60, 70}) {
+        const auto t_cpu =
+            run_simulated_app(node_, cpu_set,
+                              even_partition(cpu_set.devices.size(), n), n)
+                .total_time;
+        const auto t_gpu =
+            run_simulated_app(node_, gpu_set, {n * n}, n).total_time;
+        const auto t_hybrid =
+            run_simulated_app(node_, hybrid_set, fpm_partition(n, fpms),
+                              n)
+                .total_time;
+
+        EXPECT_LT(t_hybrid, t_cpu) << "n=" << n;
+        EXPECT_LT(t_hybrid, t_gpu) << "n=" << n;
+
+        const double gpu_advantage = t_cpu / t_gpu;
+        EXPECT_LT(gpu_advantage, previous_gpu_advantage) << "n=" << n;
+        previous_gpu_advantage = gpu_advantage;
+
+        if (n <= 50) {
+            EXPECT_GT(gpu_advantage, 1.0) << "GPU should win at n=" << n;
+        }
+        if (n >= 60) {
+            EXPECT_LT(gpu_advantage, 1.0) << "CPUs should win at n=" << n;
+        }
+    }
+}
+
+TEST_F(IntegrationTest, PipelineWorksUnderMeasurementNoise) {
+    sim::HybridNode noisy(sim::ig_platform(), {.noise_sigma = 0.04});
+    const DeviceSet set = hybrid_devices(noisy);
+
+    core::FpmBuildOptions options = fast_fpm_options(5200.0);
+    options.reliability.min_repetitions = 3;
+    options.reliability.max_repetitions = 30;
+    options.reliability.target_relative_error = 0.02;
+    const auto fpms = build_device_fpms(noisy, set, options);
+
+    const std::int64_t n = 60;
+    const auto continuous = part::partition_fpm(fpms, static_cast<double>(n * n));
+    const auto blocks = part::round_partition(continuous.partition, n * n, fpms);
+    const auto result = run_simulated_app(noisy, set, blocks.blocks, n);
+
+    // Balance within 20 % despite noisy models.
+    const double makespan = *std::max_element(result.device_iter_time.begin(),
+                                              result.device_iter_time.end());
+    for (std::size_t i = 0; i < set.devices.size(); ++i) {
+        if (blocks.blocks[i] > 0) {
+            EXPECT_GT(result.device_iter_time[i], 0.6 * makespan)
+                << set.devices[i].name;
+        }
+    }
+}
+
+} // namespace
+} // namespace fpm::app

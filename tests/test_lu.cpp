@@ -1,0 +1,143 @@
+// Tests for the blocked LU application: factorisation correctness across
+// shapes and device populations, pivot guards, and the simulated
+// FPM-vs-homogeneous comparison.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fpm/app/lu.hpp"
+#include "fpm/common/rng.hpp"
+
+namespace fpm::app {
+namespace {
+
+/// Random diagonally-dominant matrix (stable without pivoting).
+blas::Matrix<float> random_dd_matrix(std::size_t n, std::uint64_t seed) {
+    blas::Matrix<float> a(n, n);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        float row_sum = 0.0F;
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+            row_sum += std::fabs(a(i, j));
+        }
+        a(i, i) = row_sum + 1.0F;
+    }
+    return a;
+}
+
+TEST(LuReference, FactorisesKnownMatrix) {
+    // A = [[4, 3], [6, 3]]: L21 = 1.5, U = [[4, 3], [0, -1.5]].
+    blas::Matrix<float> a(2, 2);
+    a(0, 0) = 4;
+    a(0, 1) = 3;
+    a(1, 0) = 6;
+    a(1, 1) = 3;
+    lu_reference(a.view());
+    EXPECT_FLOAT_EQ(a(1, 0), 1.5F);
+    EXPECT_FLOAT_EQ(a(1, 1), -1.5F);
+    EXPECT_FLOAT_EQ(a(0, 0), 4.0F);
+    EXPECT_FLOAT_EQ(a(0, 1), 3.0F);
+}
+
+TEST(LuReference, ReconstructsOriginal) {
+    const auto original = random_dd_matrix(24, 5);
+    auto factors = original;
+    lu_reference(factors.view());
+    const auto product = lu_multiply_factors(factors);
+    EXPECT_LT(blas::max_abs_diff<float>(product.view(), original.view()),
+              1e-3);
+}
+
+TEST(LuReference, RejectsSingularMatrix) {
+    blas::Matrix<float> a(2, 2, 0.0F);  // zero pivot immediately
+    EXPECT_THROW(lu_reference(a.view()), fpm::Error);
+    blas::Matrix<float> rect(2, 3);
+    EXPECT_THROW(lu_reference(rect.view()), fpm::Error);
+}
+
+using LuCase = std::tuple<int, int, int>;  // blocks, block size, devices
+
+class LuBlocked : public ::testing::TestWithParam<LuCase> {};
+
+TEST_P(LuBlocked, MatchesUnblockedReference) {
+    const auto [blocks, block, device_count] = GetParam();
+    const std::size_t n = static_cast<std::size_t>(blocks) * block;
+    const auto original = random_dd_matrix(n, 100 + n);
+
+    auto blocked = original;
+    std::vector<LuDevice> devices(device_count);
+    for (int d = 0; d < device_count; ++d) {
+        devices[d].threads = (d == 0) ? 2 : 1;
+        devices[d].weight = 1.0 + static_cast<double>(d);
+    }
+    const auto report = lu_factor_blocked(blocked, block, devices);
+
+    auto reference = original;
+    lu_reference(reference.view());
+
+    EXPECT_LT(blas::max_abs_diff<float>(blocked.view(), reference.view()),
+              2e-3)
+        << "blocks=" << blocks << " b=" << block;
+    EXPECT_EQ(report.steps + 1, static_cast<std::size_t>(blocks));
+    EXPECT_GT(report.panel_seconds, 0.0);
+
+    // And the factors reproduce the original matrix.
+    const auto product = lu_multiply_factors(blocked);
+    EXPECT_LT(blas::max_abs_diff<float>(product.view(), original.view()),
+              1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LuBlocked,
+                         ::testing::Values(LuCase{1, 8, 1}, LuCase{3, 8, 1},
+                                           LuCase{4, 8, 2}, LuCase{4, 8, 4},
+                                           LuCase{6, 4, 3}, LuCase{2, 16, 2},
+                                           LuCase{5, 8, 5}));
+
+TEST(LuBlocked, Validation) {
+    blas::Matrix<float> a(10, 10, 1.0F);
+    const std::vector<LuDevice> devices = {LuDevice{}};
+    EXPECT_THROW(lu_factor_blocked(a, 3, devices), fpm::Error);  // 10 % 3
+    blas::Matrix<float> square = random_dd_matrix(8, 1);
+    EXPECT_THROW(lu_factor_blocked(square, 4, {}), fpm::Error);
+    std::vector<LuDevice> bad = {LuDevice{1, 0.0}};
+    EXPECT_THROW(lu_factor_blocked(square, 4, bad), fpm::Error);
+}
+
+TEST(LuSim, FpmBeatsHomogeneousOnHeterogeneousDevices) {
+    const std::vector<core::SpeedFunction> models = {
+        core::SpeedFunction({{10.0, 300.0}, {800.0, 400.0}, {2000.0, 150.0}},
+                            "gpu"),
+        core::SpeedFunction::constant(45.0, "s0"),
+        core::SpeedFunction::constant(45.0, "s1"),
+    };
+    const auto fpm = lu_simulated_time(models, 40, true);
+    const auto even = lu_simulated_time(models, 40, false);
+    EXPECT_LT(fpm.total_time, even.total_time);
+    EXPECT_DOUBLE_EQ(fpm.panel_time, even.panel_time);  // same critical path
+    EXPECT_LT(fpm.update_time, 0.7 * even.update_time);
+}
+
+TEST(LuSim, PanelShareGrowsAsMatrixShrinks) {
+    // Amdahl: for small matrices the serial panel dominates, capping the
+    // benefit of any partitioning.
+    const std::vector<core::SpeedFunction> models = {
+        core::SpeedFunction::constant(100.0, "a"),
+        core::SpeedFunction::constant(100.0, "b"),
+    };
+    const auto small = lu_simulated_time(models, 4, true);
+    const auto large = lu_simulated_time(models, 64, true);
+    EXPECT_GT(small.panel_time / small.total_time,
+              large.panel_time / large.total_time);
+}
+
+TEST(LuSim, Validation) {
+    EXPECT_THROW(lu_simulated_time({}, 10, true), fpm::Error);
+    const std::vector<core::SpeedFunction> models = {
+        core::SpeedFunction::constant(10.0)};
+    EXPECT_THROW(lu_simulated_time(models, 0, true), fpm::Error);
+}
+
+} // namespace
+} // namespace fpm::app

@@ -1,0 +1,177 @@
+// End-to-end numerical tests of the heterogeneous parallel column-based
+// matrix multiplication with real arithmetic: the partitioned product must
+// match a plain GEMM for arbitrary layouts, including GPU devices routed
+// through the out-of-core executor.
+#include <gtest/gtest.h>
+
+#include "fpm/app/matmul_real.hpp"
+#include "fpm/blas/gemm.hpp"
+#include "fpm/common/rng.hpp"
+#include "fpm/part/column2d.hpp"
+
+namespace fpm::app {
+namespace {
+
+constexpr std::size_t kBlock = 8;
+
+blas::Matrix<float> random_matrix(std::size_t n, std::uint64_t seed) {
+    blas::Matrix<float> m(n, n);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            m(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+    }
+    return m;
+}
+
+void expect_matches_reference(const part::ColumnLayout& layout,
+                              const std::vector<RealDevice>& devices,
+                              std::uint64_t seed) {
+    const std::size_t elems = static_cast<std::size_t>(layout.n) * kBlock;
+    const auto a = random_matrix(elems, seed);
+    const auto b = random_matrix(elems, seed + 1);
+    blas::Matrix<float> c(elems, elems, 0.0F);
+    blas::Matrix<float> expected(elems, elems, 0.0F);
+
+    const auto report =
+        run_real_matmul(layout, devices, kBlock, a.view(), b.view(), c.view());
+    blas::gemm<float>(a.view(), b.view(), expected.view());
+
+    EXPECT_LT(blas::max_abs_diff<float>(c.view(), expected.view()),
+              1e-3 * static_cast<double>(layout.n));
+    EXPECT_GT(report.seconds, 0.0);
+}
+
+TEST(MatmulReal, SingleCpuDevice) {
+    const part::ColumnLayout layout =
+        part::column_partition(4, std::vector<std::int64_t>{16});
+    expect_matches_reference(layout, {RealDevice{2, false, 0.0, {}}}, 11);
+}
+
+TEST(MatmulReal, FourCpuDevices) {
+    const part::ColumnLayout layout =
+        part::column_partition(6, std::vector<std::int64_t>{9, 9, 9, 9});
+    std::vector<RealDevice> devices(4, RealDevice{1, false, 0.0, {}});
+    expect_matches_reference(layout, devices, 13);
+}
+
+TEST(MatmulReal, HeterogeneousAreas) {
+    const part::ColumnLayout layout =
+        part::column_partition(8, std::vector<std::int64_t>{40, 12, 8, 4});
+    std::vector<RealDevice> devices(4, RealDevice{1, false, 0.0, {}});
+    devices[0].threads = 3;
+    expect_matches_reference(layout, devices, 17);
+}
+
+TEST(MatmulReal, GpuDeviceInCore) {
+    const part::ColumnLayout layout =
+        part::column_partition(6, std::vector<std::int64_t>{24, 12});
+    std::vector<RealDevice> devices(2);
+    devices[0].is_gpu = true;
+    devices[0].gpu_capacity_blocks = 100.0;  // fits entirely
+    devices[0].gpu_version = sim::KernelVersion::kV2;
+    devices[1].threads = 2;
+    expect_matches_reference(layout, devices, 19);
+}
+
+TEST(MatmulReal, GpuDeviceOutOfCoreAllVersions) {
+    for (const auto version :
+         {sim::KernelVersion::kV1, sim::KernelVersion::kV2,
+          sim::KernelVersion::kV3}) {
+        const part::ColumnLayout layout =
+            part::column_partition(8, std::vector<std::int64_t>{48, 16});
+        std::vector<RealDevice> devices(2);
+        devices[0].is_gpu = true;
+        devices[0].gpu_capacity_blocks = 22.0;  // forces several chunks
+        devices[0].gpu_version = version;
+        devices[1].threads = 1;
+        expect_matches_reference(layout, devices,
+                                 23 + static_cast<std::uint64_t>(version));
+    }
+}
+
+TEST(MatmulReal, HybridTwoGpusFourCpus) {
+    // A miniature of the paper's hybrid node: 2 "GPUs" + 4 CPU sockets.
+    const part::ColumnLayout layout = part::column_partition(
+        10, std::vector<std::int64_t>{40, 16, 11, 11, 11, 11});
+    std::vector<RealDevice> devices(6);
+    devices[0].is_gpu = true;
+    devices[0].gpu_capacity_blocks = 34.0;
+    devices[0].gpu_version = sim::KernelVersion::kV3;
+    devices[1].is_gpu = true;
+    devices[1].gpu_capacity_blocks = 28.0;
+    devices[1].gpu_version = sim::KernelVersion::kV2;
+    for (std::size_t i = 2; i < 6; ++i) {
+        devices[i].threads = 1;
+    }
+    expect_matches_reference(layout, devices, 29);
+}
+
+TEST(MatmulReal, ZeroAreaDeviceIsIdle) {
+    const part::ColumnLayout layout =
+        part::column_partition(4, std::vector<std::int64_t>{16, 0});
+    std::vector<RealDevice> devices(2, RealDevice{1, false, 0.0, {}});
+    expect_matches_reference(layout, devices, 31);
+}
+
+TEST(MatmulReal, GpuTrafficReported) {
+    const part::ColumnLayout layout =
+        part::column_partition(6, std::vector<std::int64_t>{30, 6});
+    std::vector<RealDevice> devices(2);
+    devices[0].is_gpu = true;
+    devices[0].gpu_capacity_blocks = 20.0;
+    devices[0].gpu_version = sim::KernelVersion::kV2;
+    devices[1].threads = 1;
+
+    const std::size_t elems = 6 * kBlock;
+    const auto a = random_matrix(elems, 37);
+    const auto b = random_matrix(elems, 38);
+    blas::Matrix<float> c(elems, elems, 0.0F);
+    const auto report =
+        run_real_matmul(layout, devices, kBlock, a.view(), b.view(), c.view());
+
+    EXPECT_GT(report.gpu_traffic[0].upload_c_blocks, 0.0);
+    EXPECT_GT(report.gpu_traffic[0].upload_pivot_blocks, 0.0);
+    EXPECT_DOUBLE_EQ(report.gpu_traffic[1].upload_c_blocks, 0.0);  // CPU device
+    ASSERT_EQ(report.device_compute_seconds.size(), 2U);
+    EXPECT_GT(report.device_compute_seconds[0], 0.0);
+}
+
+TEST(MatmulReal, InfeasibleGpuCapacitySurfacesError) {
+    // A capacity too small for even one double-buffered band: the GPU
+    // rank fails, the error propagates, and no rank deadlocks.
+    const part::ColumnLayout layout =
+        part::column_partition(8, std::vector<std::int64_t>{48, 16});
+    std::vector<RealDevice> devices(2);
+    devices[0].is_gpu = true;
+    devices[0].gpu_capacity_blocks = 8.0;  // < one aligned band for v2
+    devices[0].gpu_version = sim::KernelVersion::kV2;
+    devices[1].threads = 1;
+
+    const std::size_t elems = 8 * kBlock;
+    const auto a = random_matrix(elems, 41);
+    const auto b = random_matrix(elems, 42);
+    blas::Matrix<float> c(elems, elems, 0.0F);
+    EXPECT_THROW(
+        run_real_matmul(layout, devices, kBlock, a.view(), b.view(), c.view()),
+        fpm::Error);
+}
+
+TEST(MatmulReal, ShapeValidation) {
+    const part::ColumnLayout layout =
+        part::column_partition(4, std::vector<std::int64_t>{16});
+    const std::vector<RealDevice> devices(1);
+    blas::Matrix<float> wrong(3 * kBlock, 3 * kBlock);
+    blas::Matrix<float> right(4 * kBlock, 4 * kBlock);
+    EXPECT_THROW(run_real_matmul(layout, devices, kBlock, wrong.view(),
+                                 right.view(), right.view()),
+                 fpm::Error);
+    const std::vector<RealDevice> too_many(2);
+    EXPECT_THROW(run_real_matmul(layout, too_many, kBlock, right.view(),
+                                 right.view(), right.view()),
+                 fpm::Error);
+}
+
+} // namespace
+} // namespace fpm::app

@@ -1,0 +1,123 @@
+// Tests for model persistence: CSV round-trips, schema validation and
+// failure injection with malformed files.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "fpm/core/model_io.hpp"
+
+namespace fpm::core {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+protected:
+    std::string path_ = "/tmp/fpmpart_model_io_test.csv";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    void write_file(const std::string& content) {
+        std::ofstream out(path_);
+        out << content;
+    }
+};
+
+TEST_F(ModelIoTest, RoundTripPreservesEverything) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction({{10.0, 5.5}, {100.0, 20.25}, {500.0, 18.125}}, "socket0"),
+        SpeedFunction({{8.0, 900.0}, {1206.0, 950.0}}, "gtx680", 1206.0),
+        SpeedFunction::constant(42.0, "cpm-device"),
+    };
+    save_speed_functions_csv(path_, models);
+    const auto loaded = load_speed_functions_csv(path_);
+
+    ASSERT_EQ(loaded.size(), models.size());
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        EXPECT_EQ(loaded[i].name(), models[i].name());
+        ASSERT_EQ(loaded[i].points().size(), models[i].points().size());
+        for (std::size_t p = 0; p < models[i].points().size(); ++p) {
+            EXPECT_DOUBLE_EQ(loaded[i].points()[p].x, models[i].points()[p].x);
+            EXPECT_DOUBLE_EQ(loaded[i].points()[p].speed,
+                             models[i].points()[p].speed);
+        }
+        if (std::isfinite(models[i].max_problem())) {
+            EXPECT_DOUBLE_EQ(loaded[i].max_problem(), models[i].max_problem());
+        } else {
+            EXPECT_TRUE(std::isinf(loaded[i].max_problem()));
+        }
+    }
+}
+
+TEST_F(ModelIoTest, LoadedModelInterpolatesIdentically) {
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction({{10.0, 10.0}, {40.0, 25.0}, {100.0, 40.0}}, "ramp"),
+    };
+    save_speed_functions_csv(path_, models);
+    const auto loaded = load_speed_functions_csv(path_);
+    for (double x = 5.0; x <= 150.0; x += 7.0) {
+        EXPECT_DOUBLE_EQ(loaded[0].speed(x), models[0].speed(x)) << x;
+    }
+}
+
+TEST_F(ModelIoTest, SaveValidation) {
+    EXPECT_THROW(save_speed_functions_csv(path_, {}), fpm::Error);
+    EXPECT_THROW(save_speed_functions_csv(
+                     "/nonexistent-dir/m.csv",
+                     {SpeedFunction::constant(1.0, "a")}),
+                 fpm::Error);
+    EXPECT_THROW(
+        save_speed_functions_csv(path_, {SpeedFunction::constant(1.0, "a,b")}),
+        fpm::Error);
+}
+
+TEST_F(ModelIoTest, MissingFileThrows) {
+    EXPECT_THROW(load_speed_functions_csv("/tmp/does-not-exist-fpmpart.csv"),
+                 fpm::Error);
+}
+
+TEST_F(ModelIoTest, BadHeaderThrows) {
+    write_file("nope,nope\n");
+    EXPECT_THROW(load_speed_functions_csv(path_), fpm::Error);
+}
+
+TEST_F(ModelIoTest, MalformedRowThrows) {
+    write_file("name,max_problem,x,speed\ndev,inf,10\n");
+    EXPECT_THROW(load_speed_functions_csv(path_), fpm::Error);
+    write_file("name,max_problem,x,speed\ndev,inf,abc,5\n");
+    EXPECT_THROW(load_speed_functions_csv(path_), fpm::Error);
+}
+
+TEST_F(ModelIoTest, EmptyBodyThrows) {
+    write_file("name,max_problem,x,speed\n");
+    EXPECT_THROW(load_speed_functions_csv(path_), fpm::Error);
+}
+
+TEST_F(ModelIoTest, InvalidPointsRejectedByModelInvariants) {
+    // Negative speed violates the SpeedFunction contract on load.
+    write_file("name,max_problem,x,speed\ndev,inf,10,-5\n");
+    EXPECT_THROW(load_speed_functions_csv(path_), fpm::Error);
+    // Duplicate x likewise.
+    write_file("name,max_problem,x,speed\ndev,inf,10,5\ndev,inf,10,6\n");
+    EXPECT_THROW(load_speed_functions_csv(path_), fpm::Error);
+}
+
+TEST_F(ModelIoTest, BlankLinesIgnored) {
+    write_file("name,max_problem,x,speed\ndev,inf,10,5\n\ndev,inf,20,6\n");
+    const auto loaded = load_speed_functions_csv(path_);
+    ASSERT_EQ(loaded.size(), 1U);
+    EXPECT_EQ(loaded[0].points().size(), 2U);
+}
+
+TEST_F(ModelIoTest, ScaledCopy) {
+    const SpeedFunction fn({{10.0, 4.0}, {20.0, 8.0}}, "dev", 30.0);
+    const SpeedFunction doubled = fn.scaled(2.0);
+    EXPECT_DOUBLE_EQ(doubled.speed(10.0), 8.0);
+    EXPECT_DOUBLE_EQ(doubled.speed(20.0), 16.0);
+    EXPECT_DOUBLE_EQ(doubled.max_problem(), 30.0);
+    EXPECT_EQ(doubled.name(), "dev");
+    EXPECT_THROW(fn.scaled(0.0), fpm::Error);
+}
+
+} // namespace
+} // namespace fpm::core

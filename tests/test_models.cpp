@@ -1,0 +1,141 @@
+// Tests for the baseline performance models (CPM, LPM) and their builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpm/core/models.hpp"
+
+namespace fpm::core {
+namespace {
+
+/// Synthetic kernel with exactly linear time t(x) = alpha + beta * x.
+class LinearBench final : public KernelBenchmark {
+public:
+    LinearBench(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+    [[nodiscard]] std::string name() const override { return "linear"; }
+    double run(double x) override {
+        ++calls_;
+        return alpha_ + beta_ * x;
+    }
+    std::size_t calls() const { return calls_; }
+
+private:
+    double alpha_;
+    double beta_;
+    std::size_t calls_ = 0;
+};
+
+/// Kernel with a constant-speed profile and a capacity bound.
+class BoundedBench final : public KernelBenchmark {
+public:
+    explicit BoundedBench(double speed, double max) : speed_(speed), max_(max) {}
+    [[nodiscard]] std::string name() const override { return "bounded"; }
+    double run(double x) override { return x / speed_; }
+    [[nodiscard]] double max_problem() const override { return max_; }
+
+private:
+    double speed_;
+    double max_;
+};
+
+measure::ReliabilityOptions quick() {
+    measure::ReliabilityOptions options;
+    options.min_repetitions = 1;
+    options.max_repetitions = 1;
+    return options;
+}
+
+TEST(ConstantModel, TimeAndConversion) {
+    const ConstantModel model{5.0, "dev"};
+    EXPECT_DOUBLE_EQ(model.time(10.0), 2.0);
+    const SpeedFunction fn = model.to_speed_function();
+    EXPECT_DOUBLE_EQ(fn.speed(123.0), 5.0);
+    EXPECT_EQ(fn.name(), "dev");
+}
+
+TEST(BuildCpm, RecoversConstantSpeed) {
+    BoundedBench bench(8.0, 1e9);
+    const ConstantModel model = build_cpm(bench, 100.0, quick());
+    EXPECT_NEAR(model.speed, 8.0, 1e-9);
+    EXPECT_EQ(model.name, "bounded");
+}
+
+TEST(BuildCpm, RespectsMaxProblem) {
+    BoundedBench bench(8.0, 50.0);
+    EXPECT_THROW(build_cpm(bench, 100.0, quick()), fpm::Error);
+    EXPECT_NO_THROW(build_cpm(bench, 50.0, quick()));
+}
+
+TEST(BuildCpmEvenShare, EveryDeviceMeasuredAtEvenShare) {
+    LinearBench fast(0.0, 0.01);   // speed 100
+    LinearBench slow(0.0, 0.05);   // speed 20
+    const auto models =
+        build_cpm_even_share({&fast, &slow}, 200.0, quick());
+    ASSERT_EQ(models.size(), 2U);
+    EXPECT_NEAR(models[0].speed, 100.0, 1e-9);
+    EXPECT_NEAR(models[1].speed, 20.0, 1e-9);
+}
+
+TEST(BuildCpmEvenShare, ClampsToCapacity) {
+    BoundedBench small(10.0, 30.0);  // cannot run the even share of 100
+    BoundedBench big(10.0, 1e9);
+    const auto models = build_cpm_even_share({&small, &big}, 200.0, quick());
+    EXPECT_NEAR(models[0].speed, 10.0, 1e-9);  // measured at its cap
+}
+
+TEST(BuildCpmEvenShare, Validation) {
+    EXPECT_THROW(build_cpm_even_share({}, 100.0, quick()), fpm::Error);
+    LinearBench bench(0.0, 0.01);
+    EXPECT_THROW(build_cpm_even_share({&bench, nullptr}, 100.0, quick()),
+                 fpm::Error);
+}
+
+TEST(BuildLpm, RecoversExactLinearModel) {
+    LinearBench bench(0.125, 0.03);
+    const LinearModel model =
+        build_lpm(bench, {10.0, 50.0, 100.0, 200.0}, quick());
+    EXPECT_NEAR(model.alpha, 0.125, 1e-9);
+    EXPECT_NEAR(model.beta, 0.03, 1e-9);
+    EXPECT_NEAR(model.time(400.0), 0.125 + 12.0, 1e-6);
+}
+
+TEST(BuildLpm, ClampsNegativeAlpha) {
+    // A super-linear device makes the fitted intercept negative; the model
+    // clamps it (overheads cannot be negative).
+    class SuperLinear final : public KernelBenchmark {
+    public:
+        [[nodiscard]] std::string name() const override { return "sl"; }
+        double run(double x) override { return 1e-4 * x * x + 0.01 * x; }
+    } bench;
+    const LinearModel model = build_lpm(bench, {10.0, 100.0, 400.0}, quick());
+    EXPECT_GE(model.alpha, 0.0);
+    EXPECT_GT(model.beta, 0.0);
+}
+
+TEST(BuildLpm, Validation) {
+    LinearBench bench(0.1, 0.01);
+    EXPECT_THROW(build_lpm(bench, {10.0}, quick()), fpm::Error);
+    EXPECT_THROW(build_lpm(bench, {10.0, -5.0}, quick()), fpm::Error);
+    EXPECT_THROW(build_lpm(bench, {10.0, 10.0}, quick()), fpm::Error);  // degenerate
+}
+
+TEST(LinearModel, SpeedFunctionSampling) {
+    const LinearModel model{1.0, 0.1, "lpm"};
+    const SpeedFunction fn = model.to_speed_function(10.0, 1000.0, 16);
+    // speed(x) = x / (1 + 0.1 x): increasing towards 10.
+    EXPECT_NEAR(fn.speed(10.0), 5.0, 1e-9);
+    EXPECT_GT(fn.speed(1000.0), fn.speed(10.0));
+    EXPECT_LT(fn.speed(1000.0), 10.0);
+    EXPECT_EQ(fn.points().size(), 16U);
+    EXPECT_THROW(model.to_speed_function(10.0, 5.0), fpm::Error);
+}
+
+TEST(BuildModels, ReliabilityLoopIsUsed) {
+    LinearBench bench(0.0, 0.01);
+    measure::ReliabilityOptions options;  // default: min 3 repetitions
+    build_cpm(bench, 100.0, options);
+    EXPECT_GE(bench.calls(), 3U);
+}
+
+} // namespace
+} // namespace fpm::core

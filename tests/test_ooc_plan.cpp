@@ -1,0 +1,185 @@
+// Property tests for the out-of-core tiling plans: exact coverage,
+// capacity respect, alignment, residency flags and version semantics.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fpm/sim/ooc_plan.hpp"
+
+namespace fpm::sim {
+namespace {
+
+OocPlanRequest make_request(std::int64_t w, std::int64_t h, double cap,
+                            KernelVersion v, bool reversed = false) {
+    OocPlanRequest request;
+    request.width_blocks = w;
+    request.height_blocks = h;
+    request.capacity_blocks = cap;
+    request.version = v;
+    request.reversed = reversed;
+    return request;
+}
+
+TEST(OocPlan, InCoreSingleChunkForV2) {
+    const auto plan = build_ooc_plan(make_request(20, 20, 1000.0, KernelVersion::kV2));
+    EXPECT_TRUE(plan.in_core);
+    ASSERT_EQ(plan.chunks.size(), 1U);
+    EXPECT_TRUE(plan.chunks[0].skip_upload);
+    EXPECT_TRUE(plan.chunks[0].skip_download);
+    EXPECT_DOUBLE_EQ(plan.upload_c_blocks(), 0.0);
+    EXPECT_DOUBLE_EQ(plan.download_c_blocks(), 0.0);
+    EXPECT_DOUBLE_EQ(plan.upload_pivot_blocks(), 40.0);
+}
+
+TEST(OocPlan, Version1AlwaysStreamsEvenWhenFitting) {
+    const auto plan = build_ooc_plan(make_request(20, 20, 1000.0, KernelVersion::kV1));
+    EXPECT_FALSE(plan.in_core);
+    EXPECT_DOUBLE_EQ(plan.upload_c_blocks(), 400.0);
+    EXPECT_DOUBLE_EQ(plan.download_c_blocks(), 400.0);
+}
+
+TEST(OocPlan, InCoreBoundaryIncludesPivots) {
+    // x + h + w <= cap is the in-core condition: area 400 + 40 = 440.
+    EXPECT_TRUE(build_ooc_plan(make_request(20, 20, 440.0, KernelVersion::kV2)).in_core);
+    EXPECT_FALSE(
+        build_ooc_plan(make_request(20, 20, 439.0, KernelVersion::kV2)).in_core);
+}
+
+TEST(OocPlan, TailReuseSavesTwoChunksEachWay) {
+    // Deep out-of-core: many chunks; exactly two chunk uploads and two
+    // chunk downloads are skipped per invocation (the paper's "save two
+    // transfers in each direction").
+    const auto plan = build_ooc_plan(make_request(60, 60, 1200.0, KernelVersion::kV2));
+    ASSERT_GT(plan.chunks.size(), 4U);
+    std::size_t skipped_up = 0;
+    std::size_t skipped_down = 0;
+    for (const auto& chunk : plan.chunks) {
+        skipped_up += chunk.skip_upload ? 1 : 0;
+        skipped_down += chunk.skip_download ? 1 : 0;
+    }
+    EXPECT_EQ(skipped_up, 2U);
+    EXPECT_EQ(skipped_down, 2U);
+    // The skipped uploads are the first chunks in update order, the
+    // skipped downloads the last ones.
+    EXPECT_TRUE(plan.chunks.front().skip_upload);
+    EXPECT_TRUE(plan.chunks[1].skip_upload);
+    EXPECT_TRUE(plan.chunks.back().skip_download);
+    EXPECT_TRUE(plan.chunks[plan.chunks.size() - 2].skip_download);
+}
+
+TEST(OocPlan, ReversedOrderFlipsChunks) {
+    const auto fwd =
+        build_ooc_plan(make_request(60, 60, 1200.0, KernelVersion::kV2, false));
+    const auto rev =
+        build_ooc_plan(make_request(60, 60, 1200.0, KernelVersion::kV2, true));
+    ASSERT_EQ(fwd.chunks.size(), rev.chunks.size());
+    EXPECT_EQ(fwd.chunks.front().row_begin, 0);
+    EXPECT_EQ(rev.chunks.front().row_end, 60);
+    // The serpentine property: the reversed plan touches first what the
+    // forward plan touched last.
+    EXPECT_EQ(rev.chunks.front().row_begin, fwd.chunks.back().row_begin);
+}
+
+TEST(OocPlan, InfeasibleCapacityThrows) {
+    // Capacity below one row of C plus pivots.
+    EXPECT_THROW(build_ooc_plan(make_request(100, 100, 50.0, KernelVersion::kV2)),
+                 fpm::Error);
+    EXPECT_THROW(build_ooc_plan(make_request(10, 10, 0.0, KernelVersion::kV2)),
+                 fpm::Error);
+}
+
+TEST(OocPlan, RejectsDegenerateShapes) {
+    EXPECT_THROW(build_ooc_plan(make_request(0, 10, 100.0, KernelVersion::kV2)),
+                 fpm::Error);
+    EXPECT_THROW(build_ooc_plan(make_request(10, -1, 100.0, KernelVersion::kV2)),
+                 fpm::Error);
+}
+
+TEST(OocPlan, AlignmentSnapsChunkRows) {
+    // block_size 48: rows*48 must be a multiple of 32 => rows multiple of 2.
+    OocPlanRequest request = make_request(40, 40, 700.0, KernelVersion::kV2);
+    request.block_size = 48;
+    request.align_elements = 32;
+    const auto plan = build_ooc_plan(request);
+    ASSERT_FALSE(plan.in_core);
+    for (std::size_t i = 0; i + 1 < plan.chunks.size(); ++i) {
+        EXPECT_EQ(plan.chunks[i].rows() * 48 % 32, 0)
+            << "chunk " << i << " rows=" << plan.chunks[i].rows();
+    }
+}
+
+TEST(OocPlan, AlignmentSkippedWhenInfeasible) {
+    // Tight capacity where snapping to the alignment multiple would make
+    // the chunk empty: feasibility wins.
+    OocPlanRequest request = make_request(8, 9, 30.0, KernelVersion::kV1);
+    request.block_size = 3;    // multiple m = 32/gcd(3,32) = 32 rows
+    request.align_elements = 32;
+    const auto plan = build_ooc_plan(request);
+    EXPECT_GE(plan.chunks.size(), 1U);  // still built, unaligned
+}
+
+TEST(OocPlan, TrafficConservation) {
+    const auto plan = build_ooc_plan(make_request(50, 70, 900.0, KernelVersion::kV2));
+    // Upload + skipped = total area (every chunk either moves or stays).
+    double skipped_up = 0.0;
+    for (const auto& chunk : plan.chunks) {
+        if (chunk.skip_upload) {
+            skipped_up += static_cast<double>(chunk.rows() * 50);
+        }
+    }
+    EXPECT_DOUBLE_EQ(plan.upload_c_blocks() + skipped_up, plan.total_area_blocks());
+}
+
+// Parameterized coverage sweep across shapes, capacities and versions.
+using PlanParam = std::tuple<int, int, double, KernelVersion, bool>;
+
+class OocPlanSweep : public ::testing::TestWithParam<PlanParam> {};
+
+TEST_P(OocPlanSweep, StructuralInvariants) {
+    const auto [w, h, cap, version, reversed] = GetParam();
+    const auto plan = build_ooc_plan(make_request(w, h, cap, version, reversed));
+
+    // validate() performs the exact-cover checks; must not throw.
+    EXPECT_NO_THROW(plan.validate());
+
+    // Total chunk area equals the full Ci area.
+    std::int64_t covered = 0;
+    for (const auto& chunk : plan.chunks) {
+        covered += chunk.rows() * w;
+    }
+    EXPECT_EQ(covered, static_cast<std::int64_t>(w) * h);
+
+    // Version 1 never skips transfers.
+    if (version == KernelVersion::kV1) {
+        for (const auto& chunk : plan.chunks) {
+            EXPECT_FALSE(chunk.skip_upload);
+            EXPECT_FALSE(chunk.skip_download);
+        }
+    }
+
+    // Device-memory footprint honoured: the working set (two buffers for
+    // v2/v3, one for v1, plus pivots) fits the capacity.
+    if (!plan.in_core) {
+        const double buffers = (version == KernelVersion::kV1) ? 1.0 : 2.0;
+        const double rows = static_cast<double>(plan.chunks.front().rows());
+        EXPECT_LE(buffers * (rows * w + rows) + w, cap + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OocPlanSweep,
+    ::testing::Combine(::testing::Values(1, 7, 40, 64),
+                       ::testing::Values(1, 13, 60),
+                       ::testing::Values(300.0, 1206.0, 5000.0),
+                       ::testing::Values(KernelVersion::kV1, KernelVersion::kV2,
+                                         KernelVersion::kV3),
+                       ::testing::Bool()));
+
+TEST(OocPlan, VersionNames) {
+    EXPECT_STREQ(to_string(KernelVersion::kV1), "version 1");
+    EXPECT_STREQ(to_string(KernelVersion::kV2), "version 2");
+    EXPECT_STREQ(to_string(KernelVersion::kV3), "version 3");
+}
+
+} // namespace
+} // namespace fpm::sim

@@ -1,0 +1,68 @@
+// Tests for the Roofline utility (the paper's ref [7] comparison point).
+#include <gtest/gtest.h>
+
+#include "fpm/core/roofline.hpp"
+
+namespace fpm::core {
+namespace {
+
+TEST(Roofline, AttainableIsMinOfBounds) {
+    const Roofline device{1000.0, 100.0};  // ridge at 10 flops/byte
+    EXPECT_DOUBLE_EQ(device.attainable_gflops(1.0), 100.0);   // memory-bound
+    EXPECT_DOUBLE_EQ(device.attainable_gflops(5.0), 500.0);   // memory-bound
+    EXPECT_DOUBLE_EQ(device.attainable_gflops(10.0), 1000.0); // ridge
+    EXPECT_DOUBLE_EQ(device.attainable_gflops(64.0), 1000.0); // compute-bound
+}
+
+TEST(Roofline, MachineBalanceAndBoundClassification) {
+    const Roofline device{1000.0, 100.0};
+    EXPECT_DOUBLE_EQ(device.machine_balance(), 10.0);
+    EXPECT_TRUE(device.memory_bound(2.0));
+    EXPECT_FALSE(device.memory_bound(20.0));
+}
+
+TEST(Roofline, Validation) {
+    const Roofline bad{0.0, 100.0};
+    EXPECT_THROW(bad.attainable_gflops(1.0), fpm::Error);
+    EXPECT_THROW(bad.machine_balance(), fpm::Error);
+    const Roofline good{100.0, 10.0};
+    EXPECT_THROW(good.attainable_gflops(0.0), fpm::Error);
+}
+
+TEST(GemmIntensity, SquareCaseClosedForm) {
+    // m = n = k = s: 2s^3 / (4 s^2 B) = s / (2B).
+    EXPECT_DOUBLE_EQ(gemm_intensity(100.0, 100.0, 100.0, 4.0), 100.0 / 8.0);
+    EXPECT_THROW(gemm_intensity(0.0, 1.0, 1.0, 4.0), fpm::Error);
+}
+
+TEST(GemmIntensity, GrowsWithEveryDimension) {
+    const double base = gemm_intensity(64, 64, 64, 4.0);
+    EXPECT_GT(gemm_intensity(128, 64, 64, 4.0), base);
+    EXPECT_GT(gemm_intensity(64, 128, 64, 4.0), base);
+    EXPECT_GT(gemm_intensity(64, 64, 128, 4.0), base);
+}
+
+TEST(KernelUpdateIntensity, RankBUpdateIsKBound) {
+    // The rank-b update's intensity saturates at k / element_bytes for
+    // large areas (m = n >> k = b): 2m^2 b / (4(2mb + 2m^2)) -> b / 4.
+    const double b = 640.0;
+    const double small = kernel_update_intensity(4.0, b, 4.0);
+    const double large = kernel_update_intensity(4000.0, b, 4.0);
+    EXPECT_GT(large, small);
+    EXPECT_LT(large, b / 4.0 * 1.01);
+    EXPECT_GT(large, b / 4.0 * 0.9);  // close to the asymptote already
+}
+
+TEST(KernelUpdateIntensity, PaperKernelIsComputeBoundOnBothDevices) {
+    // With b = 640 the application kernel is comfortably past the ridge
+    // of both the socket and the GTX680 — which is why the paper's speed
+    // functions plateau at compute-limited rates for large x.
+    const double intensity = kernel_update_intensity(900.0, 640.0, 4.0);
+    const Roofline socket{92.0, 12.8};
+    const Roofline gtx680{1040.0, 192.3};
+    EXPECT_FALSE(socket.memory_bound(intensity));
+    EXPECT_FALSE(gtx680.memory_bound(intensity));
+}
+
+} // namespace
+} // namespace fpm::core

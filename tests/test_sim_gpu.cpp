@@ -1,0 +1,170 @@
+// Tests for the simulated GPU model and the kernel-version simulator:
+// the device-memory cliff, version ordering (v2 >= v1, v3 >= v2 out of
+// core), DMA-engine effects and CPU/GPU contention.
+#include <gtest/gtest.h>
+
+#include "fpm/common/math.hpp"
+#include "fpm/sim/gpu_kernel_sim.hpp"
+#include "fpm/sim/node.hpp"
+
+namespace fpm::sim {
+namespace {
+
+constexpr double kBlock = 640.0;
+
+double speed_gflops(const HybridNode& node, std::size_t gpu, double x,
+                    KernelVersion v, unsigned coactive = 0) {
+    return gemm_update_flops(x, kBlock) / node.gpu_kernel_time(gpu, x, v, coactive) /
+           1e9;
+}
+
+class GpuSimTest : public ::testing::Test {
+protected:
+    HybridNode node_{ig_platform(), {}};
+    static constexpr std::size_t kGtx680 = 1;
+    static constexpr std::size_t kC870 = 0;
+};
+
+TEST_F(GpuSimTest, CapacityMatchesDeviceMemory) {
+    const double cap = node_.gpu_model(kGtx680).capacity_blocks();
+    // 2 GiB * 0.92 usable / 1.6384 MB per block ~ 1206 blocks.
+    EXPECT_NEAR(cap, 2048.0 * 1024 * 1024 * 0.92 / (640.0 * 640.0 * 4.0), 1.0);
+    EXPECT_LT(node_.gpu_model(kC870).capacity_blocks(), cap);
+}
+
+TEST_F(GpuSimTest, TransferTimeLinearInBytesPlusLatency) {
+    const GpuModel& gpu = node_.gpu_model(kGtx680);
+    const double t1 = gpu.transfer_time(100.0, TransferPath::kPageable);
+    const double t2 = gpu.transfer_time(200.0, TransferPath::kPageable);
+    const double latency = gpu.spec().pcie_latency_s;
+    EXPECT_NEAR(t2 - latency, 2.0 * (t1 - latency), 1e-12);
+    EXPECT_DOUBLE_EQ(gpu.transfer_time(0.0, TransferPath::kPinned), 0.0);
+}
+
+TEST_F(GpuSimTest, KernelRateRampsToPeak) {
+    const GpuModel& gpu = node_.gpu_model(kGtx680);
+    EXPECT_LT(gpu.kernel_rate(1.0), 0.2 * gpu.kernel_rate(1000.0));
+    EXPECT_NEAR(gpu.kernel_rate(10000.0) / 1e9,
+                gpu.spec().peak_gflops_sp, 0.01 * gpu.spec().peak_gflops_sp);
+}
+
+TEST_F(GpuSimTest, Version2DoublesVersion1InCore) {
+    // The paper: "the performance doubles when problem sizes fit in the
+    // GPU memory" (C round-trips removed).
+    const double v1 = speed_gflops(node_, kGtx680, 900.0, KernelVersion::kV1);
+    const double v2 = speed_gflops(node_, kGtx680, 900.0, KernelVersion::kV2);
+    EXPECT_GT(v2, 2.0 * v1);
+}
+
+TEST_F(GpuSimTest, MemoryCliffAtCapacity) {
+    const double cap = node_.gpu_model(kGtx680).capacity_blocks();
+    const double before = speed_gflops(node_, kGtx680, cap * 0.8, KernelVersion::kV2);
+    const double after = speed_gflops(node_, kGtx680, cap * 2.0, KernelVersion::kV2);
+    EXPECT_LT(after, 0.6 * before);  // hard performance drop past the limit
+}
+
+TEST_F(GpuSimTest, OverlapGainAround30PercentOutOfCore) {
+    // Fig. 3: version 3 improves on version 2 by ~30 % on the GTX680 once
+    // out of core.
+    for (double x : {2500.0, 3600.0, 4900.0}) {
+        const double v2 = speed_gflops(node_, kGtx680, x, KernelVersion::kV2);
+        const double v3 = speed_gflops(node_, kGtx680, x, KernelVersion::kV3);
+        const double gain = v3 / v2 - 1.0;
+        EXPECT_GT(gain, 0.15) << "x=" << x;
+        EXPECT_LT(gain, 0.55) << "x=" << x;
+    }
+}
+
+TEST_F(GpuSimTest, InCoreVersion3EqualsVersion2) {
+    const double v2 = speed_gflops(node_, kGtx680, 500.0, KernelVersion::kV2);
+    const double v3 = speed_gflops(node_, kGtx680, 500.0, KernelVersion::kV3);
+    EXPECT_DOUBLE_EQ(v2, v3);
+}
+
+TEST_F(GpuSimTest, SingleDmaEngineGainsLess) {
+    // Tesla C870 (one DMA engine, no concurrent transfers) must profit
+    // less from overlapping than the GTX680, relatively.
+    auto relative_gain = [&](std::size_t gpu) {
+        const double cap = node_.gpu_model(gpu).capacity_blocks();
+        const double x = cap * 2.5;
+        return speed_gflops(node_, gpu, x, KernelVersion::kV3) /
+                   speed_gflops(node_, gpu, x, KernelVersion::kV2) -
+               1.0;
+    };
+    EXPECT_GT(relative_gain(kGtx680), relative_gain(kC870));
+    EXPECT_GT(relative_gain(kC870), 0.0);  // still an improvement
+}
+
+TEST_F(GpuSimTest, ContentionWithCpuCoresSlowsGpu) {
+    // Fig. 5: the GPU loses 7-15 % when cores of its socket compute.
+    for (double x : {800.0, 3000.0}) {
+        const double idle = speed_gflops(node_, kGtx680, x, KernelVersion::kV3, 0);
+        const double busy = speed_gflops(node_, kGtx680, x, KernelVersion::kV3, 5);
+        const double drop = 1.0 - busy / idle;
+        EXPECT_GT(drop, 0.05) << "x=" << x;
+        EXPECT_LT(drop, 0.20) << "x=" << x;
+    }
+}
+
+TEST_F(GpuSimTest, ContentionFactorBounds) {
+    EXPECT_DOUBLE_EQ(node_.gpu_contention_factor(kGtx680, 0), 1.0);
+    EXPECT_LT(node_.gpu_contention_factor(kGtx680, 5), 1.0);
+    // Saturates at the socket's core count.
+    EXPECT_DOUBLE_EQ(node_.gpu_contention_factor(kGtx680, 6),
+                     node_.gpu_contention_factor(kGtx680, 60));
+}
+
+TEST_F(GpuSimTest, TimingBreakdownIsConsistent) {
+    const auto timing =
+        node_.gpu_sim(kGtx680).time_invocation(50, 50, KernelVersion::kV2);
+    EXPECT_NEAR(timing.total_s, timing.compute_s + timing.h2d_s + timing.d2h_s,
+                1e-12);
+    EXPECT_GT(timing.h2d_s, 0.0);
+    EXPECT_GT(timing.d2h_s, 0.0);  // out of core: C streams back
+}
+
+TEST_F(GpuSimTest, OverlappedTimingBeatsSerialSum) {
+    const auto timing =
+        node_.gpu_sim(kGtx680).time_invocation(60, 60, KernelVersion::kV3);
+    EXPECT_LT(timing.total_s, timing.compute_s + timing.h2d_s + timing.d2h_s);
+    EXPECT_GE(timing.total_s, timing.compute_s);  // compute is on one engine
+    EXPECT_FALSE(timing.timeline.ops().empty());
+}
+
+TEST_F(GpuSimTest, SquareDims) {
+    const auto [w1, h1] = square_dims(100.0);
+    EXPECT_EQ(w1, 10);
+    EXPECT_EQ(h1, 10);
+    const auto [w2, h2] = square_dims(101.0);
+    EXPECT_GE(static_cast<double>(w2) * static_cast<double>(h2), 101.0);
+    EXPECT_LE(std::abs(w2 - h2), 1);
+    EXPECT_THROW(square_dims(0.5), fpm::Error);
+}
+
+TEST_F(GpuSimTest, RateFactorValidation) {
+    EXPECT_THROW(node_.gpu_sim(kGtx680).time_invocation(
+                     10, 10, KernelVersion::kV2, /*rate_factor=*/0.0),
+                 fpm::Error);
+    EXPECT_THROW(node_.gpu_sim(kGtx680).time_invocation(
+                     10, 10, KernelVersion::kV2, /*rate_factor=*/1.5),
+                 fpm::Error);
+}
+
+TEST_F(GpuSimTest, DoublePrecisionRejectedOnC870) {
+    // The G80-era Tesla C870 has no native FP64 (dp_ratio == 0).
+    SimOptions options;
+    options.precision = Precision::kDouble;
+    EXPECT_THROW(HybridNode(ig_platform(), options), fpm::Error);
+}
+
+TEST_F(GpuSimTest, GpuMeasurementNoiseDeterminism) {
+    HybridNode a(ig_platform(), {.noise_sigma = 0.04, .noise_seed = 5});
+    HybridNode b(ig_platform(), {.noise_sigma = 0.04, .noise_seed = 5});
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(a.measure_gpu_kernel(1, 700.0, KernelVersion::kV2),
+                         b.measure_gpu_kernel(1, 700.0, KernelVersion::kV2));
+    }
+}
+
+} // namespace
+} // namespace fpm::sim

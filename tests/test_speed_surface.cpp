@@ -1,0 +1,131 @@
+// Tests for the two-parameter FPM: bilinear interpolation, clamping, the
+// builder, and its use as the shape oracle of the iterative partitioner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpm/core/speed_surface.hpp"
+#include "fpm/part/iterative.hpp"
+#include "fpm/sim/node.hpp"
+
+namespace fpm::core {
+namespace {
+
+SpeedSurface simple_surface() {
+    // speeds(w, h) laid out heights-major over w in {1, 3}, h in {2, 6}:
+    //   (1,2)=10 (3,2)=30
+    //   (1,6)=20 (3,6)=60
+    return SpeedSurface({1.0, 3.0}, {2.0, 6.0}, {10.0, 30.0, 20.0, 60.0},
+                        "simple");
+}
+
+TEST(SpeedSurface, ExactAtKnots) {
+    const SpeedSurface s = simple_surface();
+    EXPECT_DOUBLE_EQ(s.speed(1.0, 2.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.speed(3.0, 2.0), 30.0);
+    EXPECT_DOUBLE_EQ(s.speed(1.0, 6.0), 20.0);
+    EXPECT_DOUBLE_EQ(s.speed(3.0, 6.0), 60.0);
+}
+
+TEST(SpeedSurface, BilinearMidpoints) {
+    const SpeedSurface s = simple_surface();
+    EXPECT_DOUBLE_EQ(s.speed(2.0, 2.0), 20.0);  // mid-w on bottom edge
+    EXPECT_DOUBLE_EQ(s.speed(1.0, 4.0), 15.0);  // mid-h on left edge
+    EXPECT_DOUBLE_EQ(s.speed(2.0, 4.0), 30.0);  // centre
+}
+
+TEST(SpeedSurface, ClampedOutsideGrid) {
+    const SpeedSurface s = simple_surface();
+    EXPECT_DOUBLE_EQ(s.speed(0.5, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.speed(10.0, 10.0), 60.0);
+}
+
+TEST(SpeedSurface, TimeAndSquareSpeed) {
+    const SpeedSurface s = simple_surface();
+    EXPECT_DOUBLE_EQ(s.time(3.0, 2.0), 6.0 / 30.0);
+    // square_speed(4) = speed(2, 2) = 20.
+    EXPECT_DOUBLE_EQ(s.square_speed(4.0), 20.0);
+}
+
+TEST(SpeedSurface, Validation) {
+    EXPECT_THROW(SpeedSurface({1.0}, {1.0, 2.0}, {1, 1}, ""), fpm::Error);
+    EXPECT_THROW(SpeedSurface({1.0, 2.0}, {1.0, 2.0}, {1, 1, 1}, ""),
+                 fpm::Error);
+    EXPECT_THROW(SpeedSurface({2.0, 1.0}, {1.0, 2.0}, {1, 1, 1, 1}, ""),
+                 fpm::Error);
+    EXPECT_THROW(SpeedSurface({1.0, 2.0}, {1.0, 2.0}, {1, 0, 1, 1}, ""),
+                 fpm::Error);
+    const SpeedSurface s = simple_surface();
+    EXPECT_THROW(s.speed(0.0, 1.0), fpm::Error);
+}
+
+TEST(SpeedSurface, BuilderComputesSpeedsFromTimes) {
+    // Kernel whose time is exactly w*h / (w + h): speed = w + h.
+    const auto surface = SpeedSurface::build(
+        [](double w, double h) { return w * h / (w + h); },
+        {1.0, 2.0, 4.0}, {1.0, 3.0}, "sum");
+    EXPECT_NEAR(surface.speed(2.0, 3.0), 5.0, 1e-9);
+    EXPECT_NEAR(surface.speed(4.0, 1.0), 5.0, 1e-9);
+    EXPECT_THROW(SpeedSurface::build(nullptr, {1.0, 2.0}, {1.0, 2.0}, ""),
+                 fpm::Error);
+}
+
+TEST(SpeedSurface, CapturesGpuShapeSensitivity) {
+    // Build a surface of the simulated GTX680's v3 kernel and verify it
+    // distinguishes shapes the area-only (square) model cannot: a very
+    // wide rectangle of the same area is slower out of core (more pivot
+    // row, shorter chunks).
+    sim::HybridNode node(sim::ig_platform(), {});
+    const auto kernel = [&](double w, double h) {
+        return node.gpu_sim(1)
+            .time_invocation(static_cast<std::int64_t>(std::lround(w)),
+                             static_cast<std::int64_t>(std::lround(h)),
+                             sim::KernelVersion::kV3)
+            .total_s;
+    };
+    std::vector<double> axis;
+    for (double v = 8.0; v <= 96.0; v *= std::sqrt(2.0)) {
+        axis.push_back(std::round(v));
+    }
+    const auto surface = SpeedSurface::build(kernel, axis, axis, "gtx680-v3");
+
+    // Same out-of-core area (~3600), different shapes.
+    const double square = surface.time(60.0, 60.0);
+    const double wide = surface.time(90.0, 40.0);
+    const double exact_square = kernel(60.0, 60.0);
+    const double exact_wide = kernel(90.0, 40.0);
+    // Surface tracks both shapes within ~12 %.
+    EXPECT_NEAR(square / exact_square, 1.0, 0.12);
+    EXPECT_NEAR(wide / exact_wide, 1.0, 0.12);
+    // And the shape effect it encodes matches the simulator's direction.
+    EXPECT_EQ(wide > square, exact_wide > exact_square);
+}
+
+TEST(SpeedSurface, FeedsTheIterativePartitionerAsShapeOracle) {
+    // Two synthetic devices with opposite shape preferences; the surfaces
+    // drive the iterative partitioner's oracle directly.
+    const auto prefers_tall = SpeedSurface::build(
+        [](double w, double h) { return w * h / (50.0 + 5.0 * h - w); },
+        {1.0, 8.0, 32.0}, {1.0, 8.0, 32.0}, "tall");
+    const auto prefers_wide = SpeedSurface::build(
+        [](double w, double h) { return w * h / (50.0 + 5.0 * w - h); },
+        {1.0, 8.0, 32.0}, {1.0, 8.0, 32.0}, "wide");
+
+    const std::vector<SpeedFunction> area_models = {
+        SpeedFunction::constant(prefers_tall.square_speed(64.0), "tall"),
+        SpeedFunction::constant(prefers_wide.square_speed(64.0), "wide"),
+    };
+    const part::RectTimeFn oracle = [&](std::size_t device,
+                                        const part::Rect& rect) {
+        const auto& surface = device == 0 ? prefers_tall : prefers_wide;
+        return surface.time(static_cast<double>(rect.w),
+                            static_cast<double>(rect.h));
+    };
+    const auto result = part::partition_iterative(area_models, 12, oracle);
+    EXPECT_EQ(result.blocks.total(), 144);
+    EXPECT_GT(result.makespan, 0.0);
+    EXPECT_NO_THROW(result.layout.validate());
+}
+
+} // namespace
+} // namespace fpm::core

@@ -1,0 +1,226 @@
+// Tests for the stencil application family: real-kernel correctness, the
+// simulated performance model's memory-bound / PCIe-cliff character, and
+// the FPM pipeline's handling of a second, very different workload.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fpm/app/stencil.hpp"
+#include "fpm/common/rng.hpp"
+#include "fpm/core/fpm_builder.hpp"
+#include "fpm/core/stencil_bench.hpp"
+#include "fpm/part/fpm_partitioner.hpp"
+#include "fpm/part/integer.hpp"
+#include "fpm/sim/stencil_model.hpp"
+
+namespace fpm::app {
+namespace {
+
+blas::Matrix<float> random_grid(std::size_t rows, std::size_t cols,
+                                std::uint64_t seed) {
+    blas::Matrix<float> grid(rows, cols);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            grid(r, c) = static_cast<float>(rng.uniform(0.0, 1.0));
+        }
+    }
+    return grid;
+}
+
+TEST(StencilKernel, SweepAveragesNeighbours) {
+    blas::Matrix<float> src(3, 3, 0.0F);
+    src(0, 1) = 1.0F;
+    src(1, 0) = 2.0F;
+    src(1, 1) = 3.0F;
+    src(1, 2) = 4.0F;
+    src(2, 1) = 5.0F;
+    blas::Matrix<float> dst(3, 3, -1.0F);
+    stencil_sweep(src.view(), dst.view(), 1, 2);
+    EXPECT_FLOAT_EQ(dst(1, 1), 0.2F * (1 + 2 + 3 + 4 + 5));
+    // Boundary untouched.
+    EXPECT_FLOAT_EQ(dst(0, 0), -1.0F);
+}
+
+TEST(StencilKernel, BoundaryHeldFixedByReference) {
+    auto grid = random_grid(8, 9, 1);
+    const auto before = grid;
+    stencil_reference(grid, 5);
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+        EXPECT_FLOAT_EQ(grid(0, c), before(0, c));
+        EXPECT_FLOAT_EQ(grid(7, c), before(7, c));
+    }
+    for (std::size_t r = 0; r < grid.rows(); ++r) {
+        EXPECT_FLOAT_EQ(grid(r, 0), before(r, 0));
+        EXPECT_FLOAT_EQ(grid(r, 8), before(r, 8));
+    }
+}
+
+TEST(StencilKernel, ConvergesTowardsBoundaryMean) {
+    // All-zero boundary pulls the interior to zero.
+    blas::Matrix<float> grid(16, 16, 0.0F);
+    for (std::size_t r = 1; r < 15; ++r) {
+        for (std::size_t c = 1; c < 15; ++c) {
+            grid(r, c) = 1.0F;
+        }
+    }
+    stencil_reference(grid, 500);
+    EXPECT_LT(grid(8, 8), 0.01F);
+}
+
+class StencilParallel : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StencilParallel, MatchesSerialReference) {
+    const auto [devices, sweeps] = GetParam();
+    const std::size_t rows = 26;
+    const std::size_t cols = 19;
+
+    auto parallel_grid = random_grid(rows, cols, 42);
+    auto serial_grid = parallel_grid;
+
+    // Uneven bands summing to the interior.
+    std::vector<std::int64_t> bands(devices, 0);
+    std::int64_t interior = static_cast<std::int64_t>(rows) - 2;
+    for (int i = 0; i < devices; ++i) {
+        bands[i] = interior / devices + (i < interior % devices ? 1 : 0);
+    }
+    std::vector<unsigned> threads(devices, 1);
+    threads[0] = 2;
+
+    const auto report =
+        run_real_stencil(bands, threads, parallel_grid, sweeps);
+    stencil_reference(serial_grid, sweeps);
+
+    EXPECT_LT(blas::max_abs_diff<float>(parallel_grid.view(), serial_grid.view()),
+              1e-6);
+    EXPECT_EQ(report.device_seconds.size(), static_cast<std::size_t>(devices));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, StencilParallel,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(0, 1, 4, 7)));
+
+TEST(StencilParallel, ZeroRowBandIsAllowed) {
+    auto grid = random_grid(10, 10, 3);
+    auto reference = grid;
+    const std::vector<std::int64_t> bands = {8, 0};
+    const std::vector<unsigned> threads = {1, 1};
+    run_real_stencil(bands, threads, grid, 3);
+    stencil_reference(reference, 3);
+    EXPECT_LT(blas::max_abs_diff<float>(grid.view(), reference.view()), 1e-6);
+}
+
+TEST(StencilParallel, Validation) {
+    auto grid = random_grid(10, 10, 4);
+    const std::vector<std::int64_t> wrong_sum = {5, 5};  // interior is 8
+    const std::vector<unsigned> threads = {1, 1};
+    EXPECT_THROW(run_real_stencil(wrong_sum, threads, grid, 1), fpm::Error);
+    const std::vector<std::int64_t> bands = {8};
+    EXPECT_THROW(run_real_stencil(bands, threads, grid, 1), fpm::Error);
+}
+
+} // namespace
+} // namespace fpm::app
+
+namespace fpm::sim {
+namespace {
+
+class StencilModelTest : public ::testing::Test {
+protected:
+    HybridNode node_{ig_platform(), {}};
+    StencilSpec spec_{};
+};
+
+TEST_F(StencilModelTest, SocketIsMemoryBound) {
+    // Adding cores beyond the bandwidth saturation point buys almost
+    // nothing (unlike GEMM).
+    const double t1 = stencil_cpu_sweep_time(node_, 0, 1, 2000.0, spec_);
+    const double t6 = stencil_cpu_sweep_time(node_, 0, 6, 2000.0, spec_);
+    EXPECT_LT(t6, t1);                // some gain (1 core is compute-bound)
+    EXPECT_GT(t6, t1 / 4.0);          // far from linear scaling
+}
+
+TEST_F(StencilModelTest, GpuDominatesWhileResident) {
+    const double resident = stencil_gpu_resident_rows(node_, 1, spec_);
+    const double rows = resident * 0.5;
+    const double gpu = stencil_gpu_sweep_time(node_, 1, rows, spec_);
+    const double cpu = stencil_cpu_sweep_time(node_, 0, 6, rows, spec_);
+    EXPECT_LT(gpu, cpu / 4.0);  // device bandwidth >> socket bandwidth
+}
+
+TEST_F(StencilModelTest, PcieCliffMakesGpuWorseThanSocket) {
+    // Far out of core the GPU must stream most of the band over PCIe each
+    // sweep and loses to a plain socket — a much harsher cliff than GEMM.
+    const double resident = stencil_gpu_resident_rows(node_, 1, spec_);
+    const double rows = resident * 8.0;
+    const double gpu = stencil_gpu_sweep_time(node_, 1, rows, spec_);
+    const double cpu = stencil_cpu_sweep_time(node_, 0, 6, rows, spec_);
+    EXPECT_GT(gpu, cpu);
+}
+
+TEST_F(StencilModelTest, SweepTimeMonotoneInRows) {
+    double previous = 0.0;
+    for (double rows = 100.0; rows <= 200000.0; rows *= 1.7) {
+        const double t = stencil_gpu_sweep_time(node_, 1, rows, spec_);
+        EXPECT_GT(t, previous);
+        previous = t;
+    }
+}
+
+TEST_F(StencilModelTest, Validation) {
+    EXPECT_THROW(stencil_cpu_sweep_time(node_, 9, 6, 100.0, spec_), fpm::Error);
+    EXPECT_THROW(stencil_cpu_sweep_time(node_, 0, 0, 100.0, spec_), fpm::Error);
+    EXPECT_THROW(stencil_cpu_sweep_time(node_, 0, 6, 0.0, spec_), fpm::Error);
+    StencilSpec bad = spec_;
+    bad.bandwidth_efficiency = 0.0;
+    EXPECT_THROW(stencil_gpu_sweep_time(node_, 1, 100.0, bad), fpm::Error);
+}
+
+TEST_F(StencilModelTest, FpmPipelineBalancesStencilWorkload) {
+    // End to end with the generic machinery: build stencil FPMs for the
+    // GTX680 and the four sockets, partition a deep out-of-core grid, and
+    // verify the GPU is NOT overloaded (its share must stay close to its
+    // resident capacity, not its in-core speed ratio).
+    core::SimGpuStencilBench gpu_bench(node_, 1, spec_);
+    std::vector<core::SpeedFunction> models;
+
+    core::FpmBuildOptions options;
+    options.x_min = 64.0;
+    options.x_max = 500000.0;
+    options.initial_points = 12;
+    options.max_points = 36;
+    options.reliability.min_repetitions = 1;
+    options.reliability.max_repetitions = 1;
+    models.push_back(core::build_fpm(gpu_bench, options));
+    for (std::size_t s = 0; s < node_.socket_count(); ++s) {
+        core::SimCpuStencilBench cpu_bench(node_, s, 6, spec_);
+        models.push_back(core::build_fpm(cpu_bench, options));
+    }
+
+    const std::int64_t total_rows = 400000;  // far beyond device memory
+    const auto result =
+        part::partition_fpm(models, static_cast<double>(total_rows));
+    const auto blocks = part::round_partition(
+        result.partition, total_rows, models);
+
+    EXPECT_EQ(blocks.total(), total_rows);
+    // A CPM calibrated in-core would hand the GPU its in-core speed share
+    // (the device-bandwidth ratio, ~10x a socket); the FPM backs off to
+    // the PCIe-limited marginal rate.
+    std::vector<double> cpm_speeds;
+    cpm_speeds.push_back(1000.0 / models[0].time(1000.0));  // in-core rate
+    for (std::size_t s = 1; s < models.size(); ++s) {
+        cpm_speeds.push_back(1000.0 / models[s].time(1000.0));
+    }
+    const auto cpm = part::partition_cpm(cpm_speeds,
+                                         static_cast<double>(total_rows));
+    EXPECT_GT(cpm.share[0], 2.5 * static_cast<double>(blocks.blocks[0]))
+        << "the CPM would overload the GPU by >2.5x relative to the FPM";
+    // And the sockets' loads equalise.
+    EXPECT_NEAR(static_cast<double>(blocks.blocks[1]),
+                static_cast<double>(blocks.blocks[4]),
+                0.02 * static_cast<double>(blocks.blocks[1]));
+}
+
+} // namespace
+} // namespace fpm::sim

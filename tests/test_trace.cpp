@@ -1,0 +1,125 @@
+// Tests for the tracing/reporting helpers: tables, CSV, ASCII charts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fpm/common/error.hpp"
+#include "fpm/trace/ascii_chart.hpp"
+#include "fpm/trace/csv.hpp"
+#include "fpm/trace/table.hpp"
+
+namespace fpm::trace {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+    Table table({"Matrix", "CPUs (sec)", "Hybrid (sec)"});
+    table.row().cell("40 x 40").cell(99.5, 1).cell(26.6, 1);
+    table.row().cell("50 x 50").cell(195.4, 1).cell(77.8, 1);
+    const std::string out = table.render();
+
+    EXPECT_NE(out.find("Matrix"), std::string::npos);
+    EXPECT_NE(out.find("99.5"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // Four lines: header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAligned) {
+    Table table({"a", "bbbb"});
+    table.row().cell(std::int64_t{1}).cell(std::int64_t{2});
+    table.row().cell(std::int64_t{100}).cell(std::int64_t{20000});
+    const std::string out = table.render();
+    std::istringstream stream(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(stream, line)) {
+        if (width == 0) {
+            width = line.size();
+        }
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+TEST(Table, NumericCellsRightAligned) {
+    Table table({"value"});
+    table.row().cell(std::int64_t{7});
+    table.row().cell(std::int64_t{12345});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(Table, RowWidthValidated) {
+    Table table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), fpm::Error);
+    EXPECT_THROW(Table({}), fpm::Error);
+}
+
+TEST(Csv, WritesAndEscapes) {
+    const std::string path = "/tmp/fpmpart_test_csv.csv";
+    {
+        CsvWriter csv(path);
+        csv.write_row(std::vector<std::string>{"x", "speed", "note"});
+        csv.write_row(std::vector<double>{1.5, 900.0, 3.0});
+        csv.write_row(std::vector<std::string>{"a,b", "he said \"hi\"", "line\nbreak"});
+    }
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("x,speed,note"), std::string::npos);
+    EXPECT_NE(content.find("1.5,900,3"), std::string::npos);
+    EXPECT_NE(content.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(content.find("\"he said \"\"hi\"\"\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv"), fpm::Error);
+}
+
+TEST(Chart, RendersSeriesMarksAndLegend) {
+    Series s1{"socket s6", '*', {0.0, 300.0, 600.0}, {60.0, 90.0, 93.0}};
+    Series s2{"socket s5", '+', {0.0, 300.0, 600.0}, {50.0, 76.0, 79.0}};
+    ChartOptions options;
+    options.x_label = "matrix blocks";
+    options.y_label = "Speed (GFlops)";
+    const std::string out = render_chart({s1, s2}, options);
+
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);
+    EXPECT_NE(out.find("socket s6"), std::string::npos);
+    EXPECT_NE(out.find("Speed (GFlops)"), std::string::npos);
+    EXPECT_NE(out.find("matrix blocks"), std::string::npos);
+    // Axis bounds printed.
+    EXPECT_NE(out.find("93.0"), std::string::npos);
+    EXPECT_NE(out.find("600"), std::string::npos);
+}
+
+TEST(Chart, SinglePointSeries) {
+    Series s{"dot", 'o', {5.0}, {10.0}};
+    EXPECT_NE(render_chart({s}).find('o'), std::string::npos);
+}
+
+TEST(Chart, Validation) {
+    EXPECT_THROW(render_chart({}), fpm::Error);
+    Series bad{"bad", '*', {1.0, 2.0}, {1.0}};
+    EXPECT_THROW(render_chart({bad}), fpm::Error);
+    Series empty{"empty", '*', {}, {}};
+    EXPECT_THROW(render_chart({empty}), fpm::Error);
+    Series ok{"ok", '*', {1.0}, {1.0}};
+    ChartOptions tiny;
+    tiny.width = 4;
+    EXPECT_THROW(render_chart({ok}, tiny), fpm::Error);
+}
+
+TEST(Chart, AutoYMin) {
+    Series s{"s", '*', {0.0, 1.0}, {100.0, 101.0}};
+    ChartOptions options;
+    options.auto_y_min = true;
+    const std::string out = render_chart({s}, options);
+    EXPECT_NE(out.find("100.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace fpm::trace

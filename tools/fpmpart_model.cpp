@@ -1,0 +1,112 @@
+// fpmpart_model — build functional performance models and save them.
+//
+// Builds the FPMs of a device configuration and writes them as a model
+// CSV that fpmpart_partition (or any user of core::load_speed_functions_csv)
+// consumes.  Sources:
+//
+//   --source sim      the simulated ig.icl.utk.edu node (default)
+//   --source host     the real GEMM on this machine (one CPU device)
+//
+// Usage:
+//   fpmpart_model [--source sim|host] [--config hybrid|cpu|gpu0|gpu1]
+//                 [--version 1|2|3] [--noise SIGMA] [--xmax BLOCKS]
+//                 [--points N] [--out FILE]
+//
+// Defaults: --source sim --config hybrid --version 3 --noise 0
+//           --xmax 5200 --points 44 --out models.csv
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fpm/app/device_set.hpp"
+#include "fpm/core/model_io.hpp"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            return argv[i + 1];
+        }
+    }
+    return fallback;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace fpm;
+    try {
+        const std::string source = arg_value(argc, argv, "--source", "sim");
+        const std::string config = arg_value(argc, argv, "--config", "hybrid");
+        const int version_arg = std::atoi(arg_value(argc, argv, "--version", "3"));
+        const double noise = std::atof(arg_value(argc, argv, "--noise", "0"));
+        const double x_max = std::atof(arg_value(argc, argv, "--xmax", "5200"));
+        const auto points = static_cast<std::size_t>(
+            std::atoi(arg_value(argc, argv, "--points", "44")));
+        const std::string out = arg_value(argc, argv, "--out", "models.csv");
+
+        core::FpmBuildOptions options;
+        options.x_min = 4.0;
+        options.x_max = x_max;
+        options.initial_points = std::min<std::size_t>(14, points);
+        options.max_points = points;
+        if (noise > 0.0) {
+            options.reliability.min_repetitions = 3;
+            options.reliability.max_repetitions = 30;
+            options.reliability.target_relative_error = 0.02;
+        } else {
+            options.reliability.min_repetitions = 1;
+            options.reliability.max_repetitions = 1;
+        }
+
+        std::vector<core::SpeedFunction> models;
+
+        if (source == "host") {
+            core::RealGemmKernelBench bench(64, 2);
+            options.x_max = std::min(options.x_max, 128.0);
+            options.reliability.min_repetitions = 3;
+            options.reliability.max_repetitions = 10;
+            options.reliability.target_relative_error = 0.1;
+            options.reliability.max_total_seconds = 5.0;
+            models.push_back(core::build_fpm(bench, options));
+        } else if (source == "sim") {
+            sim::SimOptions sim_options;
+            sim_options.noise_sigma = noise;
+            sim::HybridNode node(sim::ig_platform(), sim_options);
+            const auto kernel_version = static_cast<sim::KernelVersion>(
+                std::clamp(version_arg, 1, 3));
+
+            app::DeviceSet set;
+            if (config == "hybrid") {
+                set = app::hybrid_devices(node, kernel_version);
+            } else if (config == "cpu") {
+                set = app::cpu_only_devices(node);
+            } else if (config == "gpu0") {
+                set = app::single_gpu_devices(node, 0, kernel_version);
+            } else if (config == "gpu1") {
+                set = app::single_gpu_devices(node, 1, kernel_version);
+            } else {
+                std::fprintf(stderr, "unknown --config '%s'\n", config.c_str());
+                return 2;
+            }
+            models = app::build_device_fpms(node, set, options);
+        } else {
+            std::fprintf(stderr, "unknown --source '%s'\n", source.c_str());
+            return 2;
+        }
+
+        core::save_speed_functions_csv(out, models);
+        std::printf("wrote %zu model(s) to %s\n", models.size(), out.c_str());
+        for (const auto& model : models) {
+            std::printf("  %-24s %3zu points, x in [%.0f, %.0f]\n",
+                        model.name().c_str(), model.points().size(),
+                        model.points().front().x, model.points().back().x);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
