@@ -1,0 +1,126 @@
+// google-benchmark micro-benchmarks of the partition service: cold
+// partition computes, cached lookups, single-connection socket round
+// trips and multi-threaded engine throughput — the serving-path numbers
+// the ROADMAP's traffic goals are measured against.
+#include <benchmark/benchmark.h>
+
+#include "fpm/serve/client.hpp"
+#include "fpm/serve/model_registry.hpp"
+#include "fpm/serve/request_engine.hpp"
+#include "fpm/serve/server.hpp"
+
+namespace {
+
+using fpm::core::SpeedFunction;
+using fpm::core::SpeedPoint;
+using namespace fpm::serve;
+
+std::vector<SpeedFunction> synthetic_models(std::size_t devices,
+                                            std::size_t points_per_model) {
+    std::vector<SpeedFunction> models;
+    for (std::size_t d = 0; d < devices; ++d) {
+        std::vector<SpeedPoint> points;
+        const double peak = 50.0 + 20.0 * static_cast<double>(d);
+        const double cliff = 1000.0 + 500.0 * static_cast<double>(d);
+        for (std::size_t p = 0; p < points_per_model; ++p) {
+            const double x =
+                4.0 + 6000.0 * static_cast<double>(p) /
+                          static_cast<double>(points_per_model - 1);
+            const double speed =
+                (x < cliff ? peak : 0.5 * peak) * x / (x + 20.0);
+            points.push_back(SpeedPoint{x, speed});
+        }
+        models.emplace_back(std::move(points), "dev" + std::to_string(d));
+    }
+    return models;
+}
+
+struct ServeFixture {
+    ModelRegistry registry;
+    RequestEngine engine;
+
+    ServeFixture()
+        : engine(registry, {.workers = 4, .cache_capacity = 4096}) {
+        registry.put("hybrid", synthetic_models(6, 48));
+    }
+};
+
+ServeFixture& fixture() {
+    static ServeFixture instance;
+    return instance;
+}
+
+// Full pipeline per iteration: distinct n values defeat the cache.
+void BM_EngineColdPartition(benchmark::State& state) {
+    auto& f = fixture();
+    std::int64_t n = 16;
+    for (auto _ : state) {
+        n = 16 + (n + 1) % 4096;  // walks past any cache capacity reuse
+        const auto response =
+            f.engine.execute({"hybrid", n, Algorithm::kFpm, true});
+        benchmark::DoNotOptimize(response.plan.get());
+    }
+}
+BENCHMARK(BM_EngineColdPartition);
+
+// Cache-hit path: the steady state of a hot key.
+void BM_EngineCachedPartition(benchmark::State& state) {
+    auto& f = fixture();
+    f.engine.execute({"hybrid", 60, Algorithm::kFpm, true});  // warm it
+    for (auto _ : state) {
+        const auto response =
+            f.engine.execute({"hybrid", 60, Algorithm::kFpm, true});
+        benchmark::DoNotOptimize(response.plan.get());
+    }
+}
+BENCHMARK(BM_EngineCachedPartition);
+
+// Contended engine throughput: every bench thread hammers a small key
+// set, mixing cache hits with coalesced and cold requests.
+void BM_EngineConcurrentMixedKeys(benchmark::State& state) {
+    auto& f = fixture();
+    std::int64_t i = state.thread_index();
+    for (auto _ : state) {
+        const std::int64_t n = 40 + (i++ % 8) * 4;
+        const auto response =
+            f.engine.execute({"hybrid", n, Algorithm::kFpm, true});
+        benchmark::DoNotOptimize(response.plan.get());
+    }
+}
+BENCHMARK(BM_EngineConcurrentMixedKeys)->Threads(1)->Threads(4)->Threads(8);
+
+// One full wire round trip (cached server-side after the first lap).
+void BM_SocketPartitionRoundTrip(benchmark::State& state) {
+    auto& f = fixture();
+    SocketServer server(f.engine);
+    server.start();
+    {
+        ServeClient client("127.0.0.1", server.port());
+        for (auto _ : state) {
+            const auto reply =
+                client.partition({"hybrid", 52, Algorithm::kFpm, true});
+            benchmark::DoNotOptimize(reply.blocks.data());
+        }
+    }
+    server.stop();
+}
+BENCHMARK(BM_SocketPartitionRoundTrip);
+
+// Protocol overhead alone.
+void BM_SocketPingRoundTrip(benchmark::State& state) {
+    auto& f = fixture();
+    SocketServer server(f.engine);
+    server.start();
+    {
+        ServeClient client("127.0.0.1", server.port());
+        for (auto _ : state) {
+            client.ping();
+        }
+    }
+    server.stop();
+}
+BENCHMARK(BM_SocketPingRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 
@@ -26,6 +27,8 @@ void save_speed_functions_csv(const std::string& path,
     FPM_CHECK(!models.empty(), "nothing to save");
     std::ofstream out(path);
     FPM_CHECK(out.good(), "cannot open model file for writing: " + path);
+    // Full precision so a load() reproduces every double bit-for-bit.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
 
     out << "name,max_problem,x,speed\n";
     for (const auto& model : models) {

@@ -1,0 +1,98 @@
+#include "fpm/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::serve {
+
+ServeClient::ServeClient(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    FPM_CHECK(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        throw Error("invalid server address: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw Error("connect(" + host + ":" + std::to_string(port) +
+                    "): " + reason);
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+ServeClient::~ServeClient() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+std::string ServeClient::request(const std::string& line) {
+    FPM_CHECK(fd_ >= 0, "client is not connected");
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw Error(std::string("send(): ") + std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    char chunk[4096];
+    for (;;) {
+        const auto newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            std::string reply = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            if (!reply.empty() && reply.back() == '\r') {
+                reply.pop_back();
+            }
+            return reply;
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        FPM_CHECK(n > 0, "server closed the connection");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+PartitionReply ServeClient::partition(const PartitionRequest& req) {
+    std::ostringstream line;
+    line << "PARTITION " << req.model_set << ' ' << req.n << ' '
+         << algorithm_name(req.algorithm);
+    if (!req.with_layout) {
+        line << " nolayout";
+    }
+    return parse_partition_reply(request(line.str()));
+}
+
+void ServeClient::ping() {
+    const std::string reply = request("PING");
+    FPM_CHECK(reply == "OK PONG", "unexpected PING reply: " + reply);
+}
+
+} // namespace fpm::serve

@@ -1,0 +1,43 @@
+/// \file client.hpp
+/// \brief Blocking TCP client for the partition service.
+///
+/// One connection, one request line per round trip.  Used by the tests,
+/// the throughput bench and anyone scripting against fpmpart_serve; the
+/// typed partition() helper decodes the reply through the shared
+/// protocol code so client-side values match the server bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpm/serve/protocol.hpp"
+
+namespace fpm::serve {
+
+/// See file comment.
+class ServeClient {
+public:
+    /// Connects immediately; throws fpm::Error on failure.
+    ServeClient(const std::string& host, std::uint16_t port);
+    ~ServeClient();
+
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+
+    /// Sends one request line (without trailing newline) and returns the
+    /// response line.  Throws fpm::Error on I/O failure or server hangup.
+    std::string request(const std::string& line);
+
+    /// PARTITION round trip with a decoded reply; throws fpm::Error when
+    /// the server answers ERR.
+    PartitionReply partition(const PartitionRequest& req);
+
+    /// PING round trip; throws unless the server answers OK PONG.
+    void ping();
+
+private:
+    int fd_ = -1;
+    std::string buffer_;  // carry-over bytes between request() calls
+};
+
+} // namespace fpm::serve

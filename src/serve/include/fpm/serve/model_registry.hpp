@@ -1,0 +1,74 @@
+/// \file model_registry.hpp
+/// \brief Thread-safe, versioned store of named model sets.
+///
+/// FPM construction is the expensive step of the paper's workflow (it
+/// times real kernels under a reliability loop) while partitioning is
+/// cheap and repeatable.  A long-running partition service therefore
+/// keeps the built models resident and answers many queries against
+/// them.  The registry maps a *set name* (e.g. "hybrid", "cpu") to an
+/// immutable snapshot of its speed functions.
+///
+/// Snapshots are handed out as shared_ptr<const ModelSet>: a hot reload
+/// (`put`/`load_csv` under an existing name) installs a new snapshot with
+/// a higher generation but never mutates or frees the old one while
+/// in-flight requests still hold it.  Each snapshot carries a content
+/// fingerprint; the partition cache keys on the fingerprint rather than
+/// the name, so reloading identical content keeps the cache warm and
+/// reloading changed content naturally invalidates it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fpm/core/speed_function.hpp"
+
+namespace fpm::serve {
+
+/// Immutable snapshot of one named set of device models.
+struct ModelSet {
+    std::string name;
+    std::vector<core::SpeedFunction> models;
+    std::uint64_t generation = 0;   ///< registry-wide monotone version
+    std::uint64_t fingerprint = 0;  ///< content hash (names, points, caps)
+};
+
+/// FNV-1a content hash over every model's name, capacity and points.
+/// Identical model data always hashes identically, independent of the
+/// set name it is registered under.
+[[nodiscard]] std::uint64_t
+fingerprint_models(const std::vector<core::SpeedFunction>& models);
+
+/// See file comment.
+class ModelRegistry {
+public:
+    /// Installs (or replaces) the set under `name`; returns the new
+    /// snapshot.  Throws fpm::Error for an empty name or empty model list.
+    std::shared_ptr<const ModelSet> put(const std::string& name,
+                                        std::vector<core::SpeedFunction> models);
+
+    /// Convenience: core::load_speed_functions_csv + put.
+    std::shared_ptr<const ModelSet> load_csv(const std::string& name,
+                                             const std::string& path);
+
+    /// Current snapshot of `name`; throws fpm::Error when absent.
+    [[nodiscard]] std::shared_ptr<const ModelSet> get(const std::string& name) const;
+
+    /// Like get() but returns nullptr when absent.
+    [[nodiscard]] std::shared_ptr<const ModelSet> find(const std::string& name) const;
+
+    /// All current snapshots, in name order.
+    [[nodiscard]] std::vector<std::shared_ptr<const ModelSet>> snapshot() const;
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const ModelSet>> sets_;
+    std::uint64_t next_generation_ = 1;
+};
+
+} // namespace fpm::serve

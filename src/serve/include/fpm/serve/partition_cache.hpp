@@ -1,0 +1,98 @@
+/// \file partition_cache.hpp
+/// \brief LRU memoization of partitioning results.
+///
+/// A partition query is fully determined by (model content, workload
+/// size, algorithm, layout on/off), so the service memoizes the computed
+/// plan.  The key uses the model set's content *fingerprint*, not its
+/// name: hot-reloading a set with identical content keeps its entries
+/// valid, while changed content simply stops matching (stale entries
+/// age out of the LRU tail).  Counters expose hit/miss/eviction totals
+/// for the STATS wire command and the tests.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "fpm/part/column2d.hpp"
+
+namespace fpm::serve {
+
+/// Partitioning algorithm selector (mirrors fpmpart_partition's
+/// --algorithm flag: the paper's FPM, the CPM baseline, and even shares).
+enum class Algorithm { kFpm, kCpm, kEven };
+
+/// Lower-case wire/CLI name of the algorithm.
+[[nodiscard]] const char* algorithm_name(Algorithm algorithm) noexcept;
+
+/// Inverse of algorithm_name(); nullopt for unknown spellings.
+[[nodiscard]] std::optional<Algorithm> parse_algorithm(std::string_view text) noexcept;
+
+/// Cache key; see file comment.
+struct PlanKey {
+    std::uint64_t fingerprint = 0;
+    std::int64_t n = 0;  ///< matrix size in blocks (workload = n*n)
+    Algorithm algorithm = Algorithm::kFpm;
+    bool with_layout = true;
+
+    auto operator<=>(const PlanKey&) const = default;
+};
+
+/// A fully computed partitioning answer: integer shares plus (optionally)
+/// the column-based 2-D layout and its predicted quality metrics.
+struct PartitionPlan {
+    PlanKey key;
+    std::uint64_t generation = 0;  ///< model-set generation that produced it
+    std::vector<std::int64_t> blocks;
+    part::ColumnLayout layout;  ///< rects empty when !key.with_layout
+    double balanced_time = 0.0; ///< equalised time T (0 for cpm/even)
+    double makespan = 0.0;      ///< predicted max_i t_i under the models
+    std::int64_t comm_cost = 0; ///< half-perimeter sum (0 without layout)
+};
+
+/// Counter snapshot.
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+};
+
+/// Thread-safe LRU cache of shared immutable plans.
+class PartitionCache {
+public:
+    /// `capacity` >= 1 entries.
+    explicit PartitionCache(std::size_t capacity);
+
+    /// Returns the cached plan and refreshes its recency, or nullptr.
+    [[nodiscard]] std::shared_ptr<const PartitionPlan> get(const PlanKey& key);
+
+    /// Inserts (or refreshes) `plan`, evicting the least recently used
+    /// entry when full.
+    void put(const PlanKey& key, std::shared_ptr<const PartitionPlan> plan);
+
+    [[nodiscard]] CacheStats stats() const;
+    void clear();
+
+private:
+    struct Entry {
+        PlanKey key;
+        std::shared_ptr<const PartitionPlan> plan;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_;  // front = most recently used
+    std::map<PlanKey, std::list<Entry>::iterator> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace fpm::serve

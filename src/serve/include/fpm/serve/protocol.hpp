@@ -1,0 +1,73 @@
+/// \file protocol.hpp
+/// \brief The line-oriented text protocol of the partition service.
+///
+/// One request line, one response line; fields are space-separated,
+/// values never contain spaces.  Commands:
+///
+///     PING
+///     LOAD <name> <path>
+///     PARTITION <model> <n> <algorithm> [nolayout]
+///     MODELS
+///     STATS
+///     QUIT
+///
+/// Responses start with `OK` or `ERR <message>`.  Doubles travel as
+/// shortest-exact decimal (%.17g), so a partition reply parsed back by
+/// the client compares bit-for-bit with the direct library call.  The
+/// parsing/formatting functions are shared by the socket server, the
+/// client helper, the tests and the throughput bench so there is exactly
+/// one implementation of the wire format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpm/serve/request_engine.hpp"
+
+namespace fpm::serve {
+
+/// A parsed request line.
+struct Command {
+    enum class Kind { kPing, kLoad, kPartition, kModels, kStats, kQuit };
+
+    Kind kind = Kind::kPing;
+    PartitionRequest partition;  ///< kPartition
+    std::string name;            ///< kLoad: registry name
+    std::string path;            ///< kLoad: model CSV path
+};
+
+/// Parses one request line; throws fpm::Error with a client-safe message
+/// on unknown commands, arity errors or malformed numbers.
+[[nodiscard]] Command parse_command(const std::string& line);
+
+/// Executes one request line against the engine (and its registry) and
+/// returns the single-line response — `OK ...`, or `ERR <message>` for
+/// any failure.  Never throws; QUIT answers `OK BYE` (hanging up is the
+/// transport's job).
+[[nodiscard]] std::string handle_line(RequestEngine& engine,
+                                      const std::string& line);
+
+/// Formats the `OK PARTITION ...` reply for a served response.
+[[nodiscard]] std::string format_partition_reply(const PartitionRequest& request,
+                                                 const PartitionResponse& response);
+
+/// A partition reply decoded on the client side.
+struct PartitionReply {
+    std::string model;
+    std::uint64_t generation = 0;
+    std::int64_t n = 0;
+    Algorithm algorithm = Algorithm::kFpm;
+    bool cached = false;
+    bool coalesced = false;
+    double balanced_time = 0.0;
+    double makespan = 0.0;
+    std::int64_t comm_cost = 0;
+    std::vector<std::int64_t> blocks;
+    std::vector<part::Rect> rects;  ///< empty when the layout was not requested
+};
+
+/// Decodes an `OK PARTITION ...` line; throws fpm::Error on `ERR`
+/// responses (carrying the server message) and on malformed replies.
+[[nodiscard]] PartitionReply parse_partition_reply(const std::string& reply);
+
+} // namespace fpm::serve

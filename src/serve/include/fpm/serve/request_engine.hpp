@@ -1,0 +1,116 @@
+/// \file request_engine.hpp
+/// \brief Concurrent execution of partition requests.
+///
+/// The engine is the service's compute heart: it resolves a request's
+/// model set against the registry, consults the partition cache, and
+/// otherwise runs the full library pipeline (1-D partitioner → integer
+/// rounding → column 2-D layout) on an fpm::rt thread pool.
+///
+/// Identical requests that arrive while one of them is still computing
+/// are *coalesced* (single-flight dedup): exactly one computation runs
+/// and every waiter shares its result — the micro-batching the service
+/// needs when a burst of clients asks for the same partition.  Per
+/// request the engine records wall-clock latency into a
+/// measure::RunningStats, surfaced through stats() and the STATS wire
+/// command.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "fpm/measure/stats.hpp"
+#include "fpm/part/fpm_partitioner.hpp"
+#include "fpm/rt/thread_pool.hpp"
+#include "fpm/serve/model_registry.hpp"
+#include "fpm/serve/partition_cache.hpp"
+
+namespace fpm::serve {
+
+/// One partition query, as submitted by a client.
+struct PartitionRequest {
+    std::string model_set;                      ///< registry name
+    std::int64_t n = 0;                         ///< n x n block matrix
+    Algorithm algorithm = Algorithm::kFpm;
+    bool with_layout = true;
+};
+
+/// The answer plus how it was served.
+struct PartitionResponse {
+    std::shared_ptr<const PartitionPlan> plan;
+    bool cache_hit = false;   ///< served straight from the cache
+    bool coalesced = false;   ///< shared an identical in-flight computation
+    double latency_seconds = 0.0;
+};
+
+/// Aggregate engine counters.
+struct EngineStats {
+    std::uint64_t requests = 0;
+    std::uint64_t computed = 0;   ///< full pipeline executions
+    std::uint64_t coalesced = 0;  ///< requests served by single-flight dedup
+    measure::Summary latency;     ///< per-request wall-clock seconds
+    CacheStats cache;
+};
+
+/// See file comment.
+class RequestEngine {
+public:
+    struct Options {
+        unsigned workers = 4;             ///< thread-pool size for submit()
+        std::size_t cache_capacity = 1024;
+        part::FpmPartitionOptions partition{};  ///< forwarded to the bisection
+    };
+
+    /// The registry must outlive the engine.
+    RequestEngine(ModelRegistry& registry, Options options);
+    explicit RequestEngine(ModelRegistry& registry);  ///< default Options
+
+    /// Runs the request on the calling thread (cache → dedup → compute).
+    /// Throws fpm::Error for unknown model sets, n <= 0 or infeasible
+    /// workloads; coalesced waiters rethrow the leader's exception.
+    PartitionResponse execute(const PartitionRequest& request);
+
+    /// Schedules execute() on the engine's thread pool.
+    std::future<PartitionResponse> submit(const PartitionRequest& request);
+
+    [[nodiscard]] EngineStats stats() const;
+
+    [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+
+    /// The direct library call the service must agree with: runs the full
+    /// pipeline on a model-set snapshot, bypassing registry, cache and
+    /// dedup.  Exposed so tests and benches can compare answers
+    /// bit-for-bit.
+    [[nodiscard]] static PartitionPlan
+    compute_plan(const ModelSet& set, std::int64_t n, Algorithm algorithm,
+                 bool with_layout,
+                 const part::FpmPartitionOptions& options = {});
+
+private:
+    struct InFlight {
+        std::promise<std::shared_ptr<const PartitionPlan>> promise;
+        std::shared_future<std::shared_ptr<const PartitionPlan>> future;
+    };
+
+    PartitionResponse finish(double latency,
+                             std::shared_ptr<const PartitionPlan> plan,
+                             bool cache_hit, bool coalesced);
+
+    ModelRegistry& registry_;
+    Options options_;
+    PartitionCache cache_;
+    rt::ThreadPool pool_;
+
+    std::mutex inflight_mutex_;
+    std::map<PlanKey, std::shared_ptr<InFlight>> inflight_;
+
+    mutable std::mutex stats_mutex_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t computed_ = 0;
+    std::uint64_t coalesced_ = 0;
+    measure::RunningStats latency_;
+};
+
+} // namespace fpm::serve

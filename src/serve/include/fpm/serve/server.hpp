@@ -1,0 +1,78 @@
+/// \file server.hpp
+/// \brief POSIX TCP server speaking the partition-service protocol.
+///
+/// Listens on a loopback-bound (configurable) TCP port and serves each
+/// accepted connection on its own thread: the connection thread does the
+/// line I/O while the partition work itself runs through the
+/// RequestEngine's fpm::rt thread pool, which bounds compute
+/// concurrency.  Port 0 picks an ephemeral port; port() reports the
+/// bound one, which is how tests and the bench avoid collisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fpm/serve/protocol.hpp"
+
+namespace fpm::serve {
+
+/// See file comment.
+class SocketServer {
+public:
+    struct Options {
+        std::uint16_t port = 0;               ///< 0 = ephemeral
+        std::string bind_address = "127.0.0.1";
+        int backlog = 64;
+    };
+
+    /// The engine (and its registry) must outlive the server.
+    SocketServer(RequestEngine& engine, Options options);
+    explicit SocketServer(RequestEngine& engine);  ///< default Options
+    ~SocketServer();
+
+    SocketServer(const SocketServer&) = delete;
+    SocketServer& operator=(const SocketServer&) = delete;
+
+    /// Binds, listens and starts the accept loop; throws fpm::Error on
+    /// socket failures or if already started.
+    void start();
+
+    /// Stops accepting, shuts every open connection down and joins all
+    /// threads.  Idempotent.
+    void stop();
+
+    /// Bound port (valid after start()).
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    [[nodiscard]] bool running() const noexcept { return running_.load(); }
+
+    /// Total connections accepted so far.
+    [[nodiscard]] std::size_t connections_accepted() const noexcept {
+        return connections_.load();
+    }
+
+private:
+    void accept_loop();
+    void serve_connection(int fd);
+    void track_fd(int fd);
+    void untrack_fd(int fd);
+
+    RequestEngine& engine_;
+    Options options_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> connections_{0};
+    std::thread accept_thread_;
+    std::mutex conn_mutex_;
+    std::vector<std::thread> conn_threads_;
+    std::set<int> open_fds_;
+};
+
+} // namespace fpm::serve

@@ -1,0 +1,77 @@
+#include "fpm/serve/partition_cache.hpp"
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::serve {
+
+const char* algorithm_name(Algorithm algorithm) noexcept {
+    switch (algorithm) {
+    case Algorithm::kFpm:
+        return "fpm";
+    case Algorithm::kCpm:
+        return "cpm";
+    case Algorithm::kEven:
+        return "even";
+    }
+    return "?";
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view text) noexcept {
+    if (text == "fpm") {
+        return Algorithm::kFpm;
+    }
+    if (text == "cpm") {
+        return Algorithm::kCpm;
+    }
+    if (text == "even") {
+        return Algorithm::kEven;
+    }
+    return std::nullopt;
+}
+
+PartitionCache::PartitionCache(std::size_t capacity) : capacity_(capacity) {
+    FPM_CHECK(capacity >= 1, "cache capacity must be positive");
+}
+
+std::shared_ptr<const PartitionPlan> PartitionCache::get(const PlanKey& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return it->second->plan;
+}
+
+void PartitionCache::put(const PlanKey& key,
+                         std::shared_ptr<const PartitionPlan> plan) {
+    FPM_CHECK(plan != nullptr, "cannot cache a null plan");
+    std::lock_guard lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+        it->second->plan = std::move(plan);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lru_.size() >= capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    lru_.push_front(Entry{key, std::move(plan)});
+    index_[key] = lru_.begin();
+}
+
+CacheStats PartitionCache::stats() const {
+    std::lock_guard lock(mutex_);
+    return CacheStats{hits_, misses_, evictions_, lru_.size()};
+}
+
+void PartitionCache::clear() {
+    std::lock_guard lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace fpm::serve

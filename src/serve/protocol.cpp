@@ -1,0 +1,270 @@
+#include "fpm/serve/protocol.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::serve {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream stream(line);
+    std::string token;
+    while (stream >> token) {
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+std::int64_t parse_int(const std::string& text, const char* what) {
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    FPM_CHECK(end != text.c_str() && *end == '\0' && errno == 0,
+              std::string("malformed ") + what + ": " + text);
+    return static_cast<std::int64_t>(value);
+}
+
+double parse_double(const std::string& text, const char* what) {
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    FPM_CHECK(end != text.c_str() && *end == '\0' && errno == 0,
+              std::string("malformed ") + what + ": " + text);
+    return value;
+}
+
+/// Shortest-exact decimal form of a double (round-trips bit-for-bit).
+std::string format_double(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string sanitize(const std::string& message) {
+    std::string clean = message;
+    for (char& ch : clean) {
+        if (ch == '\n' || ch == '\r') {
+            ch = ' ';
+        }
+    }
+    return clean;
+}
+
+/// Splits `token` at the first '=' and checks the key.
+std::string expect_kv(const std::string& token, const char* key) {
+    const auto eq = token.find('=');
+    FPM_CHECK(eq != std::string::npos &&
+                  token.compare(0, eq, key) == 0,
+              std::string("expected ") + key + "=..., got: " + token);
+    return token.substr(eq + 1);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream stream(text);
+    while (std::getline(stream, part, sep)) {
+        parts.push_back(part);
+    }
+    return parts;
+}
+
+} // namespace
+
+Command parse_command(const std::string& line) {
+    const auto tokens = tokenize(line);
+    FPM_CHECK(!tokens.empty(), "empty request");
+    const std::string& verb = tokens[0];
+
+    Command command;
+    if (verb == "PING") {
+        FPM_CHECK(tokens.size() == 1, "PING takes no arguments");
+        command.kind = Command::Kind::kPing;
+    } else if (verb == "QUIT") {
+        FPM_CHECK(tokens.size() == 1, "QUIT takes no arguments");
+        command.kind = Command::Kind::kQuit;
+    } else if (verb == "STATS") {
+        FPM_CHECK(tokens.size() == 1, "STATS takes no arguments");
+        command.kind = Command::Kind::kStats;
+    } else if (verb == "MODELS") {
+        FPM_CHECK(tokens.size() == 1, "MODELS takes no arguments");
+        command.kind = Command::Kind::kModels;
+    } else if (verb == "LOAD") {
+        FPM_CHECK(tokens.size() == 3, "usage: LOAD <name> <path>");
+        command.kind = Command::Kind::kLoad;
+        command.name = tokens[1];
+        command.path = tokens[2];
+    } else if (verb == "PARTITION") {
+        FPM_CHECK(tokens.size() == 4 || tokens.size() == 5,
+                  "usage: PARTITION <model> <n> <fpm|cpm|even> [nolayout]");
+        command.kind = Command::Kind::kPartition;
+        command.partition.model_set = tokens[1];
+        command.partition.n = parse_int(tokens[2], "workload size");
+        FPM_CHECK(command.partition.n > 0, "workload size must be positive");
+        const auto algorithm = parse_algorithm(tokens[3]);
+        FPM_CHECK(algorithm.has_value(), "unknown algorithm: " + tokens[3]);
+        command.partition.algorithm = *algorithm;
+        if (tokens.size() == 5) {
+            FPM_CHECK(tokens[4] == "nolayout",
+                      "unknown PARTITION option: " + tokens[4]);
+            command.partition.with_layout = false;
+        }
+    } else {
+        throw Error("unknown command: " + verb);
+    }
+    return command;
+}
+
+std::string format_partition_reply(const PartitionRequest& request,
+                                   const PartitionResponse& response) {
+    const PartitionPlan& plan = *response.plan;
+    std::ostringstream out;
+    out << "OK PARTITION model=" << request.model_set
+        << " gen=" << plan.generation << " n=" << plan.key.n
+        << " algo=" << algorithm_name(plan.key.algorithm)
+        << " cached=" << (response.cache_hit ? 1 : 0)
+        << " coalesced=" << (response.coalesced ? 1 : 0)
+        << " balanced=" << format_double(plan.balanced_time)
+        << " makespan=" << format_double(plan.makespan)
+        << " comm=" << plan.comm_cost << " blocks=";
+    for (std::size_t i = 0; i < plan.blocks.size(); ++i) {
+        if (i > 0) {
+            out << ',';
+        }
+        out << plan.blocks[i];
+    }
+    out << " layout=";
+    if (!plan.key.with_layout) {
+        out << '-';
+    } else {
+        for (std::size_t i = 0; i < plan.layout.rects.size(); ++i) {
+            const auto& rect = plan.layout.rects[i];
+            if (i > 0) {
+                out << '|';
+            }
+            out << rect.col0 << ':' << rect.row0 << ':' << rect.w << ':'
+                << rect.h;
+        }
+    }
+    return out.str();
+}
+
+PartitionReply parse_partition_reply(const std::string& reply) {
+    if (reply.rfind("ERR", 0) == 0) {
+        throw Error("server error: " +
+                    (reply.size() > 4 ? reply.substr(4) : std::string{}));
+    }
+    const auto tokens = tokenize(reply);
+    FPM_CHECK(tokens.size() == 13 && tokens[0] == "OK" &&
+                  tokens[1] == "PARTITION",
+              "malformed partition reply: " + reply);
+
+    PartitionReply parsed;
+    parsed.model = expect_kv(tokens[2], "model");
+    parsed.generation = static_cast<std::uint64_t>(
+        parse_int(expect_kv(tokens[3], "gen"), "generation"));
+    parsed.n = parse_int(expect_kv(tokens[4], "n"), "n");
+    const auto algorithm = parse_algorithm(expect_kv(tokens[5], "algo"));
+    FPM_CHECK(algorithm.has_value(), "malformed algorithm in reply: " + reply);
+    parsed.algorithm = *algorithm;
+    parsed.cached = parse_int(expect_kv(tokens[6], "cached"), "cached") != 0;
+    parsed.coalesced =
+        parse_int(expect_kv(tokens[7], "coalesced"), "coalesced") != 0;
+    parsed.balanced_time =
+        parse_double(expect_kv(tokens[8], "balanced"), "balanced time");
+    parsed.makespan = parse_double(expect_kv(tokens[9], "makespan"), "makespan");
+    parsed.comm_cost = parse_int(expect_kv(tokens[10], "comm"), "comm cost");
+
+    for (const auto& cell : split(expect_kv(tokens[11], "blocks"), ',')) {
+        parsed.blocks.push_back(parse_int(cell, "block count"));
+    }
+    const std::string layout_text = expect_kv(tokens[12], "layout");
+    if (layout_text != "-") {
+        for (const auto& rect_text : split(layout_text, '|')) {
+            const auto fields = split(rect_text, ':');
+            FPM_CHECK(fields.size() == 4, "malformed rect: " + rect_text);
+            part::Rect rect;
+            rect.col0 = parse_int(fields[0], "rect col0");
+            rect.row0 = parse_int(fields[1], "rect row0");
+            rect.w = parse_int(fields[2], "rect w");
+            rect.h = parse_int(fields[3], "rect h");
+            parsed.rects.push_back(rect);
+        }
+    }
+    return parsed;
+}
+
+std::string handle_line(RequestEngine& engine, const std::string& line) {
+    try {
+        const Command command = parse_command(line);
+        switch (command.kind) {
+        case Command::Kind::kPing:
+            return "OK PONG";
+        case Command::Kind::kQuit:
+            return "OK BYE";
+        case Command::Kind::kLoad: {
+            const auto set =
+                engine.registry().load_csv(command.name, command.path);
+            std::ostringstream out;
+            char fingerprint[32];
+            std::snprintf(fingerprint, sizeof fingerprint, "%016" PRIx64,
+                          set->fingerprint);
+            out << "OK LOADED name=" << set->name
+                << " models=" << set->models.size()
+                << " gen=" << set->generation
+                << " fingerprint=" << fingerprint;
+            return out.str();
+        }
+        case Command::Kind::kModels: {
+            const auto sets = engine.registry().snapshot();
+            std::ostringstream out;
+            out << "OK MODELS count=" << sets.size() << " sets=";
+            if (sets.empty()) {
+                out << '-';
+            }
+            for (std::size_t i = 0; i < sets.size(); ++i) {
+                if (i > 0) {
+                    out << ',';
+                }
+                out << sets[i]->name << ':' << sets[i]->generation << ':'
+                    << sets[i]->models.size();
+            }
+            return out.str();
+        }
+        case Command::Kind::kStats: {
+            const EngineStats stats = engine.stats();
+            std::ostringstream out;
+            out << "OK STATS requests=" << stats.requests
+                << " computed=" << stats.computed
+                << " coalesced=" << stats.coalesced
+                << " hits=" << stats.cache.hits
+                << " misses=" << stats.cache.misses
+                << " evictions=" << stats.cache.evictions
+                << " cache_size=" << stats.cache.size
+                << " models=" << engine.registry().size()
+                << " mean_latency_us="
+                << format_double(stats.latency.mean * 1e6)
+                << " max_latency_us="
+                << format_double(stats.latency.max * 1e6);
+            return out.str();
+        }
+        case Command::Kind::kPartition: {
+            const PartitionResponse response =
+                engine.execute(command.partition);
+            return format_partition_reply(command.partition, response);
+        }
+        }
+        return "ERR unreachable";
+    } catch (const std::exception& e) {
+        return "ERR " + sanitize(e.what());
+    }
+}
+
+} // namespace fpm::serve

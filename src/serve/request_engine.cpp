@@ -1,0 +1,165 @@
+#include "fpm/serve/request_engine.hpp"
+
+#include <algorithm>
+
+#include "fpm/common/error.hpp"
+#include "fpm/measure/timer.hpp"
+#include "fpm/part/integer.hpp"
+#include "fpm/part/partition.hpp"
+
+namespace fpm::serve {
+
+RequestEngine::RequestEngine(ModelRegistry& registry, Options options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.workers) {}
+
+RequestEngine::RequestEngine(ModelRegistry& registry)
+    : RequestEngine(registry, Options{}) {}
+
+PartitionPlan RequestEngine::compute_plan(const ModelSet& set, std::int64_t n,
+                                          Algorithm algorithm, bool with_layout,
+                                          const part::FpmPartitionOptions& options) {
+    FPM_CHECK(n > 0, "workload size must be positive");
+    const auto& models = set.models;
+    const double total = static_cast<double>(n) * static_cast<double>(n);
+
+    part::Partition1D continuous;
+    double balanced_time = 0.0;
+    switch (algorithm) {
+    case Algorithm::kFpm: {
+        auto result = part::partition_fpm(models, total, options);
+        continuous = std::move(result.partition);
+        balanced_time = result.balanced_time;
+        break;
+    }
+    case Algorithm::kCpm: {
+        // The traditional baseline: each model collapses to its speed at
+        // the even share (fpmpart_partition's --algorithm cpm).
+        std::vector<double> speeds;
+        speeds.reserve(models.size());
+        const double share = total / static_cast<double>(models.size());
+        for (const auto& model : models) {
+            speeds.push_back(model.speed(std::min(share, model.max_problem())));
+        }
+        continuous = part::partition_cpm(speeds, total);
+        break;
+    }
+    case Algorithm::kEven:
+        continuous = part::partition_homogeneous(models.size(), total);
+        break;
+    }
+
+    PartitionPlan plan;
+    plan.key = PlanKey{set.fingerprint, n, algorithm, with_layout};
+    plan.generation = set.generation;
+    plan.balanced_time = balanced_time;
+
+    auto rounded = part::round_partition(continuous, n * n, models);
+    plan.makespan = part::makespan(
+        models, std::span<const std::int64_t>(rounded.blocks));
+    if (with_layout) {
+        plan.layout = part::column_partition(n, rounded.blocks);
+        plan.comm_cost = plan.layout.comm_cost();
+    }
+    plan.blocks = std::move(rounded.blocks);
+    return plan;
+}
+
+PartitionResponse RequestEngine::finish(double latency,
+                                        std::shared_ptr<const PartitionPlan> plan,
+                                        bool cache_hit, bool coalesced) {
+    {
+        std::lock_guard lock(stats_mutex_);
+        latency_.add(latency);
+    }
+    return PartitionResponse{std::move(plan), cache_hit, coalesced, latency};
+}
+
+PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
+    measure::WallTimer timer;
+    {
+        std::lock_guard lock(stats_mutex_);
+        ++requests_;
+    }
+    const auto set = registry_.get(request.model_set);
+    FPM_CHECK(request.n > 0, "workload size must be positive");
+    const PlanKey key{set->fingerprint, request.n, request.algorithm,
+                      request.with_layout};
+
+    // Single-flight: the cache lookup and the leader election happen
+    // under one lock, so each request counts exactly one cache lookup
+    // and at most one compute runs per key (a finishing leader caches
+    // *before* erasing its in-flight entry, making the lookup here
+    // conclusive).
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+        std::lock_guard lock(inflight_mutex_);
+        if (auto plan = cache_.get(key)) {
+            return finish(timer.elapsed(), std::move(plan), true, false);
+        }
+        if (const auto it = inflight_.find(key); it != inflight_.end()) {
+            flight = it->second;
+        } else {
+            flight = std::make_shared<InFlight>();
+            flight->future = flight->promise.get_future().share();
+            inflight_[key] = flight;
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        auto plan = flight->future.get();  // rethrows the leader's failure
+        {
+            std::lock_guard lock(stats_mutex_);
+            ++coalesced_;
+        }
+        return finish(timer.elapsed(), std::move(plan), false, true);
+    }
+
+    try {
+        auto plan = std::make_shared<const PartitionPlan>(compute_plan(
+            *set, request.n, request.algorithm, request.with_layout,
+            options_.partition));
+        cache_.put(key, plan);
+        {
+            std::lock_guard lock(inflight_mutex_);
+            inflight_.erase(key);
+        }
+        flight->promise.set_value(plan);
+        {
+            std::lock_guard lock(stats_mutex_);
+            ++computed_;
+        }
+        return finish(timer.elapsed(), std::move(plan), false, false);
+    } catch (...) {
+        {
+            std::lock_guard lock(inflight_mutex_);
+            inflight_.erase(key);
+        }
+        flight->promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+std::future<PartitionResponse>
+RequestEngine::submit(const PartitionRequest& request) {
+    return pool_.submit([this, request]() { return execute(request); });
+}
+
+EngineStats RequestEngine::stats() const {
+    EngineStats stats;
+    {
+        std::lock_guard lock(stats_mutex_);
+        stats.requests = requests_;
+        stats.computed = computed_;
+        stats.coalesced = coalesced_;
+        stats.latency = latency_.summary();
+    }
+    stats.cache = cache_.stats();
+    return stats;
+}
+
+} // namespace fpm::serve

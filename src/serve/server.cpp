@@ -1,0 +1,208 @@
+#include "fpm/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::serve {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return;  // peer vanished; the read side will notice
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+SocketServer::SocketServer(RequestEngine& engine, Options options)
+    : engine_(engine), options_(std::move(options)) {}
+
+SocketServer::SocketServer(RequestEngine& engine)
+    : SocketServer(engine, Options{}) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+    FPM_CHECK(listen_fd_ < 0, "server already started");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    FPM_CHECK(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(fd);
+        throw Error("invalid bind address: " + options_.bind_address);
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        throw Error("bind(" + options_.bind_address + ":" +
+                    std::to_string(options_.port) + "): " + reason);
+    }
+    if (::listen(fd, options_.backlog) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        throw Error("listen(): " + reason);
+    }
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        throw Error("getsockname(): " + reason);
+    }
+    port_ = ntohs(bound.sin_port);
+    listen_fd_ = fd;
+    stopping_.store(false);
+    running_.store(true);
+    accept_thread_ = std::thread([this]() { accept_loop(); });
+}
+
+void SocketServer::stop() {
+    if (!running_.exchange(false)) {
+        return;
+    }
+    stopping_.store(true);
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    {
+        // Knock blocked connection reads loose so their threads exit.
+        std::lock_guard lock(conn_mutex_);
+        for (const int fd : open_fds_) {
+            ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    if (accept_thread_.joinable()) {
+        accept_thread_.join();
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard lock(conn_mutex_);
+        threads.swap(conn_threads_);
+    }
+    for (auto& thread : threads) {
+        if (thread.joinable()) {
+            thread.join();
+        }
+    }
+}
+
+void SocketServer::track_fd(int fd) {
+    std::lock_guard lock(conn_mutex_);
+    open_fds_.insert(fd);
+}
+
+void SocketServer::untrack_fd(int fd) {
+    std::lock_guard lock(conn_mutex_);
+    open_fds_.erase(fd);
+}
+
+void SocketServer::accept_loop() {
+    while (!stopping_.load()) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;  // listening socket closed by stop()
+        }
+        if (stopping_.load()) {
+            ::close(client);
+            break;
+        }
+        const int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        ++connections_;
+        track_fd(client);
+        std::lock_guard lock(conn_mutex_);
+        conn_threads_.emplace_back(
+            [this, client]() { serve_connection(client); });
+    }
+}
+
+void SocketServer::serve_connection(int fd) {
+    std::string pending;
+    char chunk[4096];
+    bool quit = false;
+    while (!quit && !stopping_.load()) {
+        const auto newline = pending.find('\n');
+        if (newline == std::string::npos) {
+            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR) {
+                    continue;
+                }
+                break;  // EOF or error: client hung up
+            }
+            pending.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        std::string line = pending.substr(0, newline);
+        pending.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        if (line.empty()) {
+            continue;
+        }
+        // Partition compute runs on the engine's thread pool (bounding
+        // compute concurrency); this thread only does the line I/O.
+        std::string response;
+        try {
+            const Command command = parse_command(line);
+            if (command.kind == Command::Kind::kPartition) {
+                const PartitionResponse served =
+                    engine_.submit(command.partition).get();
+                response = format_partition_reply(command.partition, served);
+            } else {
+                if (command.kind == Command::Kind::kQuit) {
+                    quit = true;
+                }
+                response = handle_line(engine_, line);
+            }
+        } catch (const std::exception& e) {
+            std::string message = e.what();
+            for (char& ch : message) {
+                if (ch == '\n' || ch == '\r') {
+                    ch = ' ';
+                }
+            }
+            response = "ERR " + message;
+        }
+        send_all(fd, response + "\n");
+    }
+    untrack_fd(fd);
+    ::close(fd);
+}
+
+} // namespace fpm::serve

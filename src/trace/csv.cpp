@@ -1,5 +1,7 @@
 #include "fpm/trace/csv.hpp"
 
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "fpm/common/error.hpp"
@@ -43,7 +45,10 @@ void CsvWriter::write_row(const std::vector<double>& cells) {
     text.reserve(cells.size());
     for (const double value : cells) {
         std::ostringstream os;
-        os << value;
+        // max_digits10 keeps the written value bit-exact on re-parse
+        // (persisted models must round-trip losslessly).
+        os << std::setprecision(std::numeric_limits<double>::max_digits10)
+           << value;
         text.push_back(os.str());
     }
     write_row(text);

@@ -1,0 +1,51 @@
+/// \file stress_harness.hpp
+/// \brief Concurrency stress helpers shared by test_rt and test_serve.
+///
+/// run_concurrently() launches N threads, releases them through one
+/// barrier so they genuinely contend, joins them all and rethrows the
+/// first failure — the harness both suites use to hammer the runtime
+/// primitives and the partition service.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fpm/rt/barrier.hpp"
+
+namespace fpm::test {
+
+/// Runs fn(i) for i in [0, threads) on `threads` OS threads that start
+/// simultaneously; waits for all of them.  The first exception thrown by
+/// any thread is rethrown on the caller after every thread has joined.
+inline void run_concurrently(std::size_t threads,
+                             const std::function<void(std::size_t)>& fn) {
+    rt::Barrier start_line(threads);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        pool.emplace_back([&, i]() {
+            start_line.arrive_and_wait();
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto& thread : pool) {
+        thread.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace fpm::test

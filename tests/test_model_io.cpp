@@ -49,6 +49,32 @@ TEST_F(ModelIoTest, RoundTripPreservesEverything) {
     }
 }
 
+TEST_F(ModelIoTest, RoundTripIsBitExactForAwkwardDoubles) {
+    // Values with no short decimal form: writing at default ostream
+    // precision (~6 digits) would corrupt them.  Persistence must use
+    // max_digits10 so every double survives the CSV round trip exactly.
+    const double third = 1.0 / 3.0;
+    const double pi = 3.14159265358979323846;
+    const double tiny_sum = 0.1 + 0.2;  // 0.30000000000000004
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction({{third, 123456.789012345678},
+                       {pi, 1e17 / 3.0},
+                       {97.0 / 7.0, tiny_sum}},
+                      "awkward", 1e6 * pi),
+    };
+    save_speed_functions_csv(path_, models);
+    const auto loaded = load_speed_functions_csv(path_);
+
+    ASSERT_EQ(loaded.size(), 1U);
+    ASSERT_EQ(loaded[0].points().size(), models[0].points().size());
+    for (std::size_t p = 0; p < models[0].points().size(); ++p) {
+        // Exact equality, not near-equality: bit-for-bit round trip.
+        EXPECT_EQ(loaded[0].points()[p].x, models[0].points()[p].x);
+        EXPECT_EQ(loaded[0].points()[p].speed, models[0].points()[p].speed);
+    }
+    EXPECT_EQ(loaded[0].max_problem(), models[0].max_problem());
+}
+
 TEST_F(ModelIoTest, LoadedModelInterpolatesIdentically) {
     const std::vector<SpeedFunction> models = {
         SpeedFunction({{10.0, 10.0}, {40.0, 25.0}, {100.0, 40.0}}, "ramp"),

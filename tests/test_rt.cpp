@@ -10,6 +10,7 @@
 #include "fpm/rt/channel.hpp"
 #include "fpm/rt/process_group.hpp"
 #include "fpm/rt/thread_pool.hpp"
+#include "stress_harness.hpp"
 
 namespace fpm::rt {
 namespace {
@@ -236,6 +237,95 @@ TEST(ProcessGroup, ExceptionFromOneRankPropagates) {
         // finish their work.
     }),
                  fpm::Error);
+}
+
+// Concurrency stress: the serve layer funnels every partition request
+// through the pool and channels, so hammer them from many simultaneous
+// producers and consumers (shared harness with test_serve).
+TEST(Stress, ChannelManyProducersManyConsumers) {
+    constexpr std::size_t kProducers = 8;
+    constexpr std::size_t kConsumers = 8;
+    constexpr int kPerProducer = 500;
+    Channel<int> channel(16);
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<std::int64_t> received{0};
+    std::atomic<std::size_t> producers_left{kProducers};
+
+    fpm::test::run_concurrently(kProducers + kConsumers, [&](std::size_t id) {
+        if (id < kProducers) {
+            for (int i = 1; i <= kPerProducer; ++i) {
+                channel.send(i);
+            }
+            if (--producers_left == 0) {
+                channel.close();
+            }
+        } else {
+            while (auto value = channel.receive()) {
+                sum += *value;
+                ++received;
+            }
+        }
+    });
+
+    const std::int64_t per_producer =
+        static_cast<std::int64_t>(kPerProducer) * (kPerProducer + 1) / 2;
+    EXPECT_EQ(received.load(),
+              static_cast<std::int64_t>(kProducers) * kPerProducer);
+    EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kProducers) * per_producer);
+}
+
+TEST(Stress, ThreadPoolSubmitStorm) {
+    constexpr std::size_t kSubmitters = 12;
+    static constexpr int kPerSubmitter = 200;
+    ThreadPool pool(4);
+    std::atomic<std::int64_t> executed{0};
+
+    fpm::test::run_concurrently(kSubmitters, [&](std::size_t id) {
+        std::vector<std::future<std::int64_t>> futures;
+        futures.reserve(kPerSubmitter);
+        for (int i = 0; i < kPerSubmitter; ++i) {
+            futures.push_back(pool.submit([&executed, id, i]() {
+                ++executed;
+                return static_cast<std::int64_t>(id) * kPerSubmitter + i;
+            }));
+        }
+        for (int i = 0; i < kPerSubmitter; ++i) {
+            EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(),
+                      static_cast<std::int64_t>(id) * kPerSubmitter + i);
+        }
+    });
+    EXPECT_EQ(executed.load(),
+              static_cast<std::int64_t>(kSubmitters) * kPerSubmitter);
+}
+
+TEST(Stress, ThreadPoolFeedsChannelPipeline) {
+    // Producers submit pool tasks whose results stream through a channel
+    // to concurrent consumers — the serve request/response shape.
+    constexpr int kItems = 1000;
+    ThreadPool pool(4);
+    Channel<std::int64_t> results(8);
+    std::atomic<std::int64_t> total{0};
+
+    fpm::test::run_concurrently(4, [&](std::size_t id) {
+        if (id == 0) {  // dispatcher
+            std::vector<std::future<void>> futures;
+            futures.reserve(kItems);
+            for (int i = 1; i <= kItems; ++i) {
+                futures.push_back(pool.submit(
+                    [&results, i]() { results.send(i); }));
+            }
+            for (auto& future : futures) {
+                future.get();
+            }
+            results.close();
+        } else {  // consumers
+            while (auto value = results.receive()) {
+                total += *value;
+            }
+        }
+    });
+    EXPECT_EQ(total.load(),
+              static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
 }
 
 TEST(ProcessGroup, Validation) {

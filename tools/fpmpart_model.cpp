@@ -15,37 +15,59 @@
 // Defaults: --source sim --config hybrid --version 3 --noise 0
 //           --xmax 5200 --points 44 --out models.csv
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "fpm/app/device_set.hpp"
 #include "fpm/core/model_io.hpp"
+#include "tool_args.hpp"
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* flag,
-                      const char* fallback) {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0) {
-            return argv[i + 1];
-        }
-    }
-    return fallback;
-}
+constexpr const char* kUsage =
+    "usage: fpmpart_model [--source sim|host] [--config hybrid|cpu|gpu0|gpu1]\n"
+    "                     [--version 1|2|3] [--noise SIGMA] [--xmax BLOCKS]\n"
+    "                     [--points N] [--out FILE]\n";
 
 } // namespace
 
 int main(int argc, char** argv) {
     using namespace fpm;
     try {
-        const std::string source = arg_value(argc, argv, "--source", "sim");
-        const std::string config = arg_value(argc, argv, "--config", "hybrid");
-        const int version_arg = std::atoi(arg_value(argc, argv, "--version", "3"));
-        const double noise = std::atof(arg_value(argc, argv, "--noise", "0"));
-        const double x_max = std::atof(arg_value(argc, argv, "--xmax", "5200"));
-        const auto points = static_cast<std::size_t>(
-            std::atoi(arg_value(argc, argv, "--points", "44")));
-        const std::string out = arg_value(argc, argv, "--out", "models.csv");
+        std::string source;
+        std::string config;
+        int version_arg = 3;
+        double noise = 0.0;
+        double x_max = 5200.0;
+        std::size_t points = 44;
+        std::string out;
+        try {
+            const fpmtool::ArgParser args(argc, argv,
+                                          {"--source", "--config", "--version",
+                                           "--noise", "--xmax", "--points",
+                                           "--out"});
+            source = args.value("--source", "sim");
+            config = args.value("--config", "hybrid");
+            version_arg = static_cast<int>(args.int_value("--version", 3));
+            noise = args.double_value("--noise", 0.0);
+            x_max = args.double_value("--xmax", 5200.0);
+            const long long points_arg = args.int_value("--points", 44);
+            FPM_CHECK(points_arg > 0, "--points must be positive");
+            points = static_cast<std::size_t>(points_arg);
+            out = args.value("--out", "models.csv");
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+            return 2;
+        }
+        if (version_arg < 1 || version_arg > 3) {
+            std::fprintf(stderr, "unknown --version '%d'\n%s", version_arg,
+                         kUsage);
+            return 2;
+        }
+        if (source != "sim" && source != "host") {
+            std::fprintf(stderr, "unknown --source '%s'\n%s", source.c_str(),
+                         kUsage);
+            return 2;
+        }
 
         core::FpmBuildOptions options;
         options.x_min = 4.0;
@@ -64,6 +86,10 @@ int main(int argc, char** argv) {
         std::vector<core::SpeedFunction> models;
 
         if (source == "host") {
+            if (config != "hybrid") {
+                std::fprintf(stderr,
+                             "--config is ignored with --source host\n");
+            }
             core::RealGemmKernelBench bench(64, 2);
             options.x_max = std::min(options.x_max, 128.0);
             options.reliability.min_repetitions = 3;
@@ -71,7 +97,7 @@ int main(int argc, char** argv) {
             options.reliability.target_relative_error = 0.1;
             options.reliability.max_total_seconds = 5.0;
             models.push_back(core::build_fpm(bench, options));
-        } else if (source == "sim") {
+        } else {
             sim::SimOptions sim_options;
             sim_options.noise_sigma = noise;
             sim::HybridNode node(sim::ig_platform(), sim_options);
@@ -88,13 +114,11 @@ int main(int argc, char** argv) {
             } else if (config == "gpu1") {
                 set = app::single_gpu_devices(node, 1, kernel_version);
             } else {
-                std::fprintf(stderr, "unknown --config '%s'\n", config.c_str());
+                std::fprintf(stderr, "unknown --config '%s'\n%s",
+                             config.c_str(), kUsage);
                 return 2;
             }
             models = app::build_device_fpms(node, set, options);
-        } else {
-            std::fprintf(stderr, "unknown --source '%s'\n", source.c_str());
-            return 2;
         }
 
         core::save_speed_functions_csv(out, models);

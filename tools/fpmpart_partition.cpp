@@ -12,7 +12,6 @@
 // The CPM variant reduces every model to its speed at the even share
 // (the traditional approach the paper compares against).
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "fpm/core/model_io.hpp"
@@ -21,35 +20,43 @@
 #include "fpm/part/integer.hpp"
 #include "fpm/trace/csv.hpp"
 #include "fpm/trace/table.hpp"
+#include "tool_args.hpp"
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* flag,
-                      const char* fallback) {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0) {
-            return argv[i + 1];
-        }
-    }
-    return fallback;
-}
+constexpr const char* kUsage =
+    "usage: fpmpart_partition --models FILE --n SIZE "
+    "[--algorithm fpm|cpm|even] [--layout-out FILE]\n";
 
 } // namespace
 
 int main(int argc, char** argv) {
     using namespace fpm;
     try {
-        const std::string models_path = arg_value(argc, argv, "--models", "");
-        const std::int64_t n = std::atol(arg_value(argc, argv, "--n", "0"));
-        const std::string algorithm =
-            arg_value(argc, argv, "--algorithm", "fpm");
-        const std::string layout_out =
-            arg_value(argc, argv, "--layout-out", "");
+        std::string models_path;
+        std::int64_t n = 0;
+        std::string algorithm;
+        std::string layout_out;
+        try {
+            const fpmtool::ArgParser args(
+                argc, argv, {"--models", "--n", "--algorithm", "--layout-out"});
+            models_path = args.value("--models", "");
+            n = args.int_value("--n", 0);
+            algorithm = args.value("--algorithm", "fpm");
+            layout_out = args.value("--layout-out", "");
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+            return 2;
+        }
 
         if (models_path.empty() || n <= 0) {
-            std::fprintf(stderr,
-                         "usage: fpmpart_partition --models FILE --n SIZE "
-                         "[--algorithm fpm|cpm|even] [--layout-out FILE]\n");
+            std::fprintf(stderr, "%s", kUsage);
+            return 2;
+        }
+        // Reject a bad algorithm before paying for the model load.
+        if (algorithm != "fpm" && algorithm != "cpm" && algorithm != "even") {
+            std::fprintf(stderr, "unknown --algorithm '%s'\n%s",
+                         algorithm.c_str(), kUsage);
             return 2;
         }
 
@@ -72,12 +79,8 @@ int main(int argc, char** argv) {
                     model.speed(std::min(share, model.max_problem())));
             }
             continuous = part::partition_cpm(speeds, total);
-        } else if (algorithm == "even") {
-            continuous = part::partition_homogeneous(models.size(), total);
         } else {
-            std::fprintf(stderr, "unknown --algorithm '%s'\n",
-                         algorithm.c_str());
-            return 2;
+            continuous = part::partition_homogeneous(models.size(), total);
         }
 
         const auto blocks = part::round_partition(continuous, n * n, models);

@@ -1,0 +1,113 @@
+// fpmpart_serve — run the partition service over TCP.
+//
+// Loads one or more model CSVs (built by fpmpart_model) into the
+// fpm::serve model registry and answers the line protocol on a loopback
+// TCP port:
+//
+//   PING                                    liveness probe
+//   LOAD <name> <path>                      hot-(re)load a model set
+//   PARTITION <model> <n> <algo> [nolayout] partition an n x n workload
+//   MODELS / STATS                          registry and cache counters
+//   QUIT                                    close this connection
+//
+// Usage:
+//   fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]
+//                 [--port P] [--bind ADDR] [--threads N] [--cache N]
+//
+// Port 0 (the default) picks an ephemeral port; the bound port is
+// printed on startup.  The process serves until stdin reaches EOF
+// (Ctrl-D) so it composes with shells, tests and process supervisors.
+#include <cstdio>
+#include <string>
+
+#include "fpm/serve/server.hpp"
+#include "tool_args.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]\n"
+    "                     [--port P] [--bind ADDR] [--threads N] [--cache N]\n";
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace fpm;
+    try {
+        std::vector<std::string> model_specs;
+        long long port = 0;
+        std::string bind_address;
+        long long threads = 4;
+        long long cache_capacity = 1024;
+        try {
+            const fpmtool::ArgParser args(
+                argc, argv, {"--port", "--bind", "--threads", "--cache"},
+                {"--models"});
+            model_specs = args.values("--models");
+            port = args.int_value("--port", 0);
+            bind_address = args.value("--bind", "127.0.0.1");
+            threads = args.int_value("--threads", 4);
+            cache_capacity = args.int_value("--cache", 1024);
+            FPM_CHECK(port >= 0 && port <= 65535, "--port out of range");
+            FPM_CHECK(threads >= 1, "--threads must be positive");
+            FPM_CHECK(cache_capacity >= 1, "--cache must be positive");
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+            return 2;
+        }
+        if (model_specs.empty()) {
+            std::fprintf(stderr, "%s", kUsage);
+            return 2;
+        }
+
+        serve::ModelRegistry registry;
+        for (const auto& spec : model_specs) {
+            const auto eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+                std::fprintf(stderr, "--models expects NAME=FILE, got '%s'\n%s",
+                             spec.c_str(), kUsage);
+                return 2;
+            }
+            const auto set =
+                registry.load_csv(spec.substr(0, eq), spec.substr(eq + 1));
+            std::printf("loaded model set '%s': %zu model(s), generation %llu\n",
+                        set->name.c_str(), set->models.size(),
+                        static_cast<unsigned long long>(set->generation));
+        }
+
+        serve::RequestEngine::Options engine_options;
+        engine_options.workers = static_cast<unsigned>(threads);
+        engine_options.cache_capacity =
+            static_cast<std::size_t>(cache_capacity);
+        serve::RequestEngine engine(registry, engine_options);
+
+        serve::SocketServer::Options server_options;
+        server_options.port = static_cast<std::uint16_t>(port);
+        server_options.bind_address = bind_address;
+        serve::SocketServer server(engine, server_options);
+        server.start();
+        std::printf("fpmpart_serve listening on %s:%u (%lld worker(s), "
+                    "cache %lld); Ctrl-D to stop\n",
+                    bind_address.c_str(), server.port(), threads,
+                    cache_capacity);
+        std::fflush(stdout);
+
+        // Serve until stdin closes.
+        for (int ch = std::getchar(); ch != EOF; ch = std::getchar()) {
+        }
+        server.stop();
+
+        const auto stats = engine.stats();
+        std::printf("served %zu connection(s), %llu request(s) "
+                    "(%llu computed, %llu coalesced, %llu cache hit(s))\n",
+                    server.connections_accepted(),
+                    static_cast<unsigned long long>(stats.requests),
+                    static_cast<unsigned long long>(stats.computed),
+                    static_cast<unsigned long long>(stats.coalesced),
+                    static_cast<unsigned long long>(stats.cache.hits));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

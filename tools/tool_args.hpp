@@ -1,0 +1,104 @@
+/// \file tool_args.hpp
+/// \brief Checked command-line parsing shared by the fpmpart tools.
+///
+/// The tools take only `--flag value` pairs.  Unlike the ad-hoc scan
+/// this replaces, the parser rejects unknown flags, flags missing their
+/// value, and non-numeric/garbage numbers (std::atol would silently
+/// yield 0) — every tool exits non-zero with its usage message instead
+/// of partitioning a zero-sized workload.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+
+namespace fpmtool {
+
+/// See file comment.  Flags listed in `repeatable` may appear multiple
+/// times (values accumulate, in order); all others at most once.
+class ArgParser {
+public:
+    ArgParser(int argc, char** argv, std::initializer_list<const char*> flags,
+              std::initializer_list<const char*> repeatable = {}) {
+        for (const char* flag : flags) {
+            known_.emplace(flag, false);
+        }
+        for (const char* flag : repeatable) {
+            known_.emplace(flag, true);
+        }
+        for (int i = 1; i < argc; ++i) {
+            const std::string flag = argv[i];
+            const auto it = known_.find(flag);
+            FPM_CHECK(it != known_.end(), "unknown flag: " + flag);
+            FPM_CHECK(i + 1 < argc, "missing value for " + flag);
+            FPM_CHECK(it->second || values_.find(flag) == values_.end(),
+                      "duplicate flag: " + flag);
+            values_[flag].emplace_back(argv[++i]);
+        }
+    }
+
+    /// Last value of `flag`, or `fallback` when absent.
+    [[nodiscard]] std::string value(const std::string& flag,
+                                    const std::string& fallback) const {
+        const auto it = values_.find(flag);
+        return it == values_.end() ? fallback : it->second.back();
+    }
+
+    /// Every value of a repeatable `flag` (empty when absent).
+    [[nodiscard]] std::vector<std::string> values(const std::string& flag) const {
+        const auto it = values_.find(flag);
+        return it == values_.end() ? std::vector<std::string>{} : it->second;
+    }
+
+    [[nodiscard]] bool has(const std::string& flag) const {
+        return values_.find(flag) != values_.end();
+    }
+
+    /// Checked integer value: the whole token must parse.
+    [[nodiscard]] long long int_value(const std::string& flag,
+                                      long long fallback) const {
+        const auto it = values_.find(flag);
+        if (it == values_.end()) {
+            return fallback;
+        }
+        return parse_int(it->second.back(), flag);
+    }
+
+    /// Checked floating-point value: the whole token must parse.
+    [[nodiscard]] double double_value(const std::string& flag,
+                                      double fallback) const {
+        const auto it = values_.find(flag);
+        if (it == values_.end()) {
+            return fallback;
+        }
+        const std::string& text = it->second.back();
+        errno = 0;
+        char* end = nullptr;
+        const double parsed = std::strtod(text.c_str(), &end);
+        FPM_CHECK(end != text.c_str() && *end == '\0' && errno == 0,
+                  "malformed number for " + flag + ": " + text);
+        return parsed;
+    }
+
+    [[nodiscard]] static long long parse_int(const std::string& text,
+                                             const std::string& what) {
+        errno = 0;
+        char* end = nullptr;
+        const long long parsed = std::strtoll(text.c_str(), &end, 10);
+        FPM_CHECK(end != text.c_str() && *end == '\0' && errno == 0,
+                  "malformed integer for " + what + ": " + text);
+        return parsed;
+    }
+
+private:
+    std::map<std::string, bool> known_;  // flag -> repeatable?
+    std::map<std::string, std::vector<std::string>> values_;
+};
+
+} // namespace fpmtool
