@@ -5,15 +5,37 @@
 #include <deque>
 
 #include "fpm/common/math.hpp"
+#include "fpm/obs/metrics.hpp"
+#include "fpm/obs/trace.hpp"
 
 namespace fpm::core {
 
 namespace {
 
+struct BuilderMetrics {
+    obs::Counter& calls;
+    obs::Counter& points;
+    obs::Counter& refinements;
+    obs::Counter& timings;  ///< reliability-loop repeats, summed
+
+    static const BuilderMetrics& get() {
+        static auto& registry = obs::MetricsRegistry::global();
+        static const BuilderMetrics metrics{
+            registry.counter("core.fpm_build.calls"),
+            registry.counter("core.fpm_build.points"),
+            registry.counter("core.fpm_build.refinements"),
+            registry.counter("core.fpm_build.timings")};
+        return metrics;
+    }
+};
+
 double reliable_speed(KernelBenchmark& bench, double x,
                       const measure::ReliabilityOptions& reliability) {
+    obs::Span span("core.reliable_speed",
+                   static_cast<std::uint64_t>(std::max(x, 0.0)));
     const auto result = measure::measure_until_reliable(
         [&bench, x]() { return bench.run(x); }, reliability);
+    BuilderMetrics::get().timings.add(result.summary.count);
     FPM_CHECK(result.summary.mean > 0.0, "kernel timing must be positive");
     return x / result.summary.mean;
 }
@@ -21,6 +43,9 @@ double reliable_speed(KernelBenchmark& bench, double x,
 } // namespace
 
 SpeedFunction build_fpm(KernelBenchmark& bench, const FpmBuildOptions& options) {
+    obs::Span build_span("core.build_fpm");
+    const BuilderMetrics& metrics = BuilderMetrics::get();
+    metrics.calls.add();
     FPM_CHECK(options.x_min > 0.0, "x_min must be positive");
     FPM_CHECK(options.x_max > options.x_min, "x_max must exceed x_min");
     FPM_CHECK(options.initial_points >= 2, "need at least two initial points");
@@ -85,6 +110,7 @@ SpeedFunction build_fpm(KernelBenchmark& bench, const FpmBuildOptions& options) 
         const double deviation =
             std::fabs(measured - predicted) / std::max(measured, 1e-300);
         if (deviation > options.refine_tolerance) {
+            metrics.refinements.add();
             points.push_back(SpeedPoint{mid, measured});
             std::sort(points.begin(), points.end(),
                       [](const SpeedPoint& a, const SpeedPoint& b) {
@@ -95,6 +121,7 @@ SpeedFunction build_fpm(KernelBenchmark& bench, const FpmBuildOptions& options) 
         }
     }
 
+    metrics.points.add(points.size());
     return SpeedFunction(std::move(points), bench.name(), bench.max_problem());
 }
 

@@ -1,0 +1,106 @@
+/// \file trace.hpp
+/// \brief Scoped span tracing with a Chrome trace_event JSON exporter.
+///
+/// Spans give the serving stack the per-request timeline the paper's
+/// Fig. 4/6 analyses rely on: wrap a scope in `obs::Span span("name");`
+/// and, when tracing is enabled, the scope's wall-clock interval is
+/// recorded into a per-thread ring buffer (lock-free: only the owning
+/// thread writes, publication is one release store) and later exported
+/// as Chrome `trace_event` JSON — load it in chrome://tracing or
+/// https://ui.perfetto.dev.
+///
+/// When tracing is disabled (the default), constructing a Span costs one
+/// relaxed atomic load and a branch — cheap enough to leave the
+/// instrumentation in the hot paths permanently.  Enable tracing with
+/// the `FPMPART_TRACE=/path/trace.json` environment variable (see
+/// init_tracing_from_env(), called by every tool) or programmatically
+/// via enable_tracing(); the file is written by flush_trace(), which is
+/// also registered with atexit() on enable.
+///
+/// Buffers are append-only per process: each thread records up to
+/// kThreadTraceCapacity events, further events are counted as dropped.
+/// Span names must be string literals (or otherwise outlive the flush).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace fpm::obs {
+
+namespace detail {
+
+extern std::atomic<bool> g_trace_enabled;
+
+/// Monotonic nanoseconds since the process trace epoch (first use).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+void record_complete_event(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns, std::uint64_t arg,
+                           bool has_arg) noexcept;
+
+} // namespace detail
+
+/// Events recorded per thread before further ones are dropped.
+inline constexpr std::size_t kThreadTraceCapacity = 1 << 16;
+
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enables span recording and remembers `path` as the flush target.
+/// Registers flush_trace() with atexit() on first enable.
+void enable_tracing(std::string path);
+
+/// Stops recording; already-recorded events stay flushable.
+void disable_tracing() noexcept;
+
+/// Enables tracing when FPMPART_TRACE is set and non-empty; returns
+/// whether tracing is enabled afterwards.
+bool init_tracing_from_env();
+
+/// Writes all recorded events as Chrome trace JSON to the path given to
+/// enable_tracing(); returns the number of events written (0 when no
+/// path is configured).  Safe to call repeatedly and concurrently with
+/// recording (events published before the call are included).
+std::size_t flush_trace();
+
+/// The exporter itself; usable directly by tests.  Returns events written.
+std::size_t write_chrome_trace(std::ostream& out);
+
+/// Events lost to full per-thread buffers since process start.
+[[nodiscard]] std::uint64_t trace_events_dropped() noexcept;
+
+/// RAII scoped span; see file comment.  The two-argument form attaches
+/// one integer argument (exported as args.v — e.g. the workload size).
+class Span {
+public:
+    explicit Span(const char* name) noexcept : Span(name, 0, false) {}
+    Span(const char* name, std::uint64_t arg) noexcept : Span(name, arg, true) {}
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    ~Span() {
+        if (start_ns_ != 0) {
+            detail::record_complete_event(
+                name_, start_ns_, detail::now_ns() - start_ns_, arg_, has_arg_);
+        }
+    }
+
+private:
+    Span(const char* name, std::uint64_t arg, bool has_arg) noexcept
+        : name_(name), arg_(arg), has_arg_(has_arg) {
+        if (tracing_enabled()) {
+            start_ns_ = detail::now_ns();
+        }
+    }
+
+    const char* name_;
+    std::uint64_t start_ns_ = 0;  ///< 0 = constructed with tracing off
+    std::uint64_t arg_;
+    bool has_arg_;
+};
+
+} // namespace fpm::obs

@@ -1,0 +1,184 @@
+#include "fpm/obs/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace fpm::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+struct TraceEvent {
+    const char* name = nullptr;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint64_t arg = 0;
+    bool has_arg = false;
+};
+
+/// Per-thread event store.  Only the owning thread writes events and
+/// advances head (release); flushers read head (acquire) and then the
+/// slots below it, which the owner never rewrites — no locks, no data
+/// races, TSan-clean.
+struct ThreadBuffer {
+    std::vector<TraceEvent> events{kThreadTraceCapacity};
+    std::atomic<std::uint32_t> head{0};
+    std::uint32_t tid = 0;
+};
+
+struct TraceState {
+    std::mutex mutex;  // path + buffer registration + file writes
+    std::string path;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::atomic<std::uint64_t> dropped{0};
+    bool atexit_registered = false;
+};
+
+TraceState& state() {
+    static TraceState instance;
+    return instance;
+}
+
+ThreadBuffer& local_buffer() {
+    // The global list co-owns the buffer so it outlives its thread and
+    // stays flushable after the thread exits.
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto fresh = std::make_shared<ThreadBuffer>();
+        TraceState& s = state();
+        std::lock_guard lock(s.mutex);
+        fresh->tid = static_cast<std::uint32_t>(s.buffers.size() + 1);
+        s.buffers.push_back(fresh);
+        return fresh;
+    }();
+    return *buffer;
+}
+
+void flush_at_exit() { flush_trace(); }
+
+} // namespace
+
+std::uint64_t now_ns() noexcept {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    const auto elapsed = clock::now() - epoch;
+    // +1 so an enabled span never reads the 0 sentinel on the very
+    // first call.
+    return static_cast<std::uint64_t>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                   .count()) +
+           1;
+}
+
+void record_complete_event(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns, std::uint64_t arg,
+                           bool has_arg) noexcept {
+    ThreadBuffer& buffer = local_buffer();
+    const std::uint32_t head = buffer.head.load(std::memory_order_relaxed);
+    if (head >= kThreadTraceCapacity) {
+        state().dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buffer.events[head] = TraceEvent{name, start_ns, dur_ns, arg, has_arg};
+    buffer.head.store(head + 1, std::memory_order_release);
+}
+
+} // namespace detail
+
+void enable_tracing(std::string path) {
+    detail::TraceState& s = detail::state();
+    {
+        std::lock_guard lock(s.mutex);
+        s.path = std::move(path);
+        if (!s.atexit_registered) {
+            s.atexit_registered = true;
+            std::atexit(detail::flush_at_exit);
+        }
+    }
+    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() noexcept {
+    detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool init_tracing_from_env() {
+    if (const char* path = std::getenv("FPMPART_TRACE");
+        path != nullptr && *path != '\0') {
+        enable_tracing(path);
+    }
+    return tracing_enabled();
+}
+
+std::size_t write_chrome_trace(std::ostream& out) {
+    detail::TraceState& s = detail::state();
+    std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(s.mutex);
+        buffers = s.buffers;
+    }
+    out << "{\"traceEvents\":[";
+    std::size_t written = 0;
+    char number[64];
+    for (const auto& buffer : buffers) {
+        const std::uint32_t head =
+            std::min<std::uint32_t>(buffer->head.load(std::memory_order_acquire),
+                                    kThreadTraceCapacity);
+        for (std::uint32_t i = 0; i < head; ++i) {
+            const detail::TraceEvent& event = buffer->events[i];
+            if (written > 0) {
+                out << ",\n";
+            }
+            // Span names are string literals from the instrumentation
+            // sites, so no JSON escaping is needed.
+            out << "{\"name\":\"" << event.name
+                << "\",\"cat\":\"fpm\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+                << buffer->tid;
+            std::snprintf(number, sizeof number, "%.3f",
+                          static_cast<double>(event.start_ns) / 1e3);
+            out << ",\"ts\":" << number;
+            std::snprintf(number, sizeof number, "%.3f",
+                          static_cast<double>(event.dur_ns) / 1e3);
+            out << ",\"dur\":" << number;
+            if (event.has_arg) {
+                out << ",\"args\":{\"v\":" << event.arg << "}";
+            }
+            out << "}";
+            ++written;
+        }
+    }
+    out << "],\"displayTimeUnit\":\"ms\"}\n";
+    return written;
+}
+
+std::size_t flush_trace() {
+    detail::TraceState& s = detail::state();
+    std::string path;
+    {
+        std::lock_guard lock(s.mutex);
+        path = s.path;
+    }
+    if (path.empty()) {
+        return 0;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        return 0;
+    }
+    return write_chrome_trace(out);
+}
+
+std::uint64_t trace_events_dropped() noexcept {
+    return detail::state().dropped.load(std::memory_order_relaxed);
+}
+
+} // namespace fpm::obs

@@ -4,12 +4,37 @@
 #include <cmath>
 
 #include "fpm/common/error.hpp"
+#include "fpm/obs/metrics.hpp"
+#include "fpm/obs/trace.hpp"
 
 namespace fpm::part {
+
+namespace {
+
+struct FpmMetrics {
+    obs::Counter& calls;
+    obs::Counter& iterations;
+    obs::Counter& unconverged;
+    obs::Histogram& iterations_per_call;
+
+    static const FpmMetrics& get() {
+        static auto& registry = obs::MetricsRegistry::global();
+        static const FpmMetrics metrics{
+            registry.counter("part.fpm.calls"),
+            registry.counter("part.fpm.iterations"),
+            registry.counter("part.fpm.unconverged"),
+            registry.histogram("part.fpm.iterations_per_call")};
+        return metrics;
+    }
+};
+
+} // namespace
 
 FpmPartitionResult partition_fpm(std::span<const core::SpeedFunction> models,
                                  double total,
                                  const FpmPartitionOptions& options) {
+    obs::Span span("part.fpm_partition",
+                   static_cast<std::uint64_t>(std::max(total, 0.0)));
     FPM_CHECK(!models.empty(), "need at least one device");
     FPM_CHECK(total >= 0.0, "total workload must be non-negative");
     FPM_CHECK(options.tolerance > 0.0, "tolerance must be positive");
@@ -83,12 +108,14 @@ FpmPartitionResult partition_fpm(std::span<const core::SpeedFunction> models,
 
     // Bisection on T; sum_i x_i(T) is monotone non-decreasing.
     double assigned = 0.0;
+    bool converged = false;
     for (std::size_t it = 0; it < options.max_iterations; ++it) {
         const double mid = 0.5 * (lo + hi);
         assigned = assigned_at(mid);
         result.iterations = it + 1;
         if (std::fabs(assigned - total) <= options.tolerance * total) {
             hi = mid;
+            converged = true;
             break;
         }
         if (assigned < total) {
@@ -96,6 +123,14 @@ FpmPartitionResult partition_fpm(std::span<const core::SpeedFunction> models,
         } else {
             hi = mid;
         }
+    }
+    const FpmMetrics& metrics = FpmMetrics::get();
+    metrics.calls.add();
+    metrics.iterations.add(result.iterations);
+    metrics.iterations_per_call.record(
+        static_cast<double>(result.iterations));
+    if (!converged) {
+        metrics.unconverged.add();
     }
 
     result.balanced_time = hi;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -47,12 +48,19 @@ public:
                       const std::function<void(std::size_t)>& fn);
 
 private:
+    /// A queued task plus its enqueue timestamp, so the pool can report
+    /// queue-wait time separately from task execution time.
+    struct Job {
+        std::function<void()> fn;
+        std::uint64_t enqueued_ns = 0;
+    };
+
     void enqueue(std::function<void()> job);
     void worker_loop();
 
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Job> queue_;
     std::vector<std::thread> workers_;
     unsigned workers_count_ = 0;
     bool stopping_ = false;

@@ -2,7 +2,29 @@
 
 #include <atomic>
 
+#include "fpm/obs/metrics.hpp"
+#include "fpm/obs/trace.hpp"
+
 namespace fpm::rt {
+
+namespace {
+
+struct PoolMetrics {
+    obs::Gauge& queue_depth;
+    obs::Histogram& queue_wait;
+    obs::Histogram& task_seconds;
+
+    static const PoolMetrics& get() {
+        static auto& registry = obs::MetricsRegistry::global();
+        static const PoolMetrics metrics{
+            registry.gauge("rt.pool.queue_depth"),
+            registry.histogram("rt.pool.queue_wait_seconds"),
+            registry.histogram("rt.pool.task_seconds")};
+        return metrics;
+    }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned threads) : workers_count_(threads) {
     FPM_CHECK(threads >= 1, "thread pool needs at least one worker");
@@ -24,17 +46,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+    const PoolMetrics& metrics = PoolMetrics::get();
     {
         std::lock_guard lock(mutex_);
         FPM_CHECK(!stopping_, "cannot submit to a stopping pool");
-        queue_.push_back(std::move(job));
+        queue_.push_back(Job{std::move(job), obs::detail::now_ns()});
+        metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     }
     cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+    const PoolMetrics& metrics = PoolMetrics::get();
     for (;;) {
-        std::function<void()> job;
+        Job job;
         {
             std::unique_lock lock(mutex_);
             cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
@@ -43,8 +68,17 @@ void ThreadPool::worker_loop() {
             }
             job = std::move(queue_.front());
             queue_.pop_front();
+            metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
         }
-        job();
+        const std::uint64_t start_ns = obs::detail::now_ns();
+        metrics.queue_wait.record(
+            static_cast<double>(start_ns - job.enqueued_ns) * 1e-9);
+        {
+            obs::Span span("rt.task");
+            job.fn();
+        }
+        metrics.task_seconds.record(
+            static_cast<double>(obs::detail::now_ns() - start_ns) * 1e-9);
     }
 }
 

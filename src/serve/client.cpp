@@ -1,12 +1,15 @@
 #include "fpm/serve/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <sstream>
 
@@ -14,29 +17,96 @@
 
 namespace fpm::serve {
 
-ServeClient::ServeClient(const std::string& host, std::uint16_t port) {
+namespace {
+
+timeval to_timeval(double seconds) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec =
+        static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+    return tv;
+}
+
+/// Connects with a deadline: the socket goes non-blocking, connect() is
+/// polled for writability, and SO_ERROR reports the final outcome.  A
+/// non-positive timeout falls back to a plain blocking connect().
+void connect_with_timeout(int fd, const sockaddr_in& addr, double timeout) {
+    if (timeout <= 0.0) {
+        FPM_CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof addr) == 0,
+                  std::string("connect(): ") + std::strerror(errno));
+        return;
+    }
+
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    FPM_CHECK(flags >= 0, std::string("fcntl(): ") + std::strerror(errno));
+    FPM_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              std::string("fcntl(): ") + std::strerror(errno));
+
+    const int rc =
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (rc != 0) {
+        FPM_CHECK(errno == EINPROGRESS,
+                  std::string("connect(): ") + std::strerror(errno));
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        const int timeout_ms = static_cast<int>(timeout * 1e3);
+        int ready;
+        do {
+            ready = ::poll(&pfd, 1, timeout_ms);
+        } while (ready < 0 && errno == EINTR);
+        FPM_CHECK(ready >= 0, std::string("poll(): ") + std::strerror(errno));
+        FPM_CHECK(ready > 0, "connect(): timed out");
+        int err = 0;
+        socklen_t len = sizeof err;
+        FPM_CHECK(::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0,
+                  std::string("getsockopt(): ") + std::strerror(errno));
+        FPM_CHECK(err == 0,
+                  std::string("connect(): ") + std::strerror(err));
+    }
+
+    FPM_CHECK(::fcntl(fd, F_SETFL, flags) == 0,
+              std::string("fcntl(): ") + std::strerror(errno));
+}
+
+} // namespace
+
+ServeClient::ServeClient(const std::string& host, std::uint16_t port,
+                         const Options& options)
+    : options_(options) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     FPM_CHECK(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
 
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    try {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        FPM_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  "invalid server address: " + host);
+        try {
+            connect_with_timeout(fd_, addr, options_.connect_timeout);
+        } catch (const Error& e) {
+            throw Error(std::string(e.what()) + " [" + host + ":" +
+                        std::to_string(port) + "]");
+        }
+
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (options_.recv_timeout > 0.0) {
+            const timeval tv = to_timeval(options_.recv_timeout);
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+            ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        }
+    } catch (...) {
         ::close(fd_);
         fd_ = -1;
-        throw Error("invalid server address: " + host);
+        throw;
     }
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-        0) {
-        const std::string reason = std::strerror(errno);
-        ::close(fd_);
-        fd_ = -1;
-        throw Error("connect(" + host + ":" + std::to_string(port) +
-                    "): " + reason);
-    }
-    const int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
+
+ServeClient::ServeClient(const std::string& host, std::uint16_t port)
+    : ServeClient(host, port, Options{}) {}
 
 ServeClient::~ServeClient() {
     if (fd_ >= 0) {
@@ -54,6 +124,9 @@ std::string ServeClient::request(const std::string& line) {
         if (n < 0) {
             if (errno == EINTR) {
                 continue;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                throw Error("send(): timed out waiting for the server");
             }
             throw Error(std::string("send(): ") + std::strerror(errno));
         }
@@ -75,6 +148,9 @@ std::string ServeClient::request(const std::string& line) {
         if (n < 0 && errno == EINTR) {
             continue;
         }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            throw Error("recv(): timed out waiting for the server");
+        }
         FPM_CHECK(n > 0, "server closed the connection");
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
@@ -83,7 +159,7 @@ std::string ServeClient::request(const std::string& line) {
 PartitionReply ServeClient::partition(const PartitionRequest& req) {
     std::ostringstream line;
     line << "PARTITION " << req.model_set << ' ' << req.n << ' '
-         << algorithm_name(req.algorithm);
+         << part::to_string(req.algorithm);
     if (!req.with_layout) {
         line << " nolayout";
     }
@@ -92,7 +168,16 @@ PartitionReply ServeClient::partition(const PartitionRequest& req) {
 
 void ServeClient::ping() {
     const std::string reply = request("PING");
-    FPM_CHECK(reply == "OK PONG", "unexpected PING reply: " + reply);
+    const std::string expected =
+        "OK PONG v" + std::to_string(kProtocolVersion);
+    if (reply != expected) {
+        if (reply.rfind("OK PONG", 0) == 0) {
+            throw Error("protocol version mismatch: client speaks v" +
+                        std::to_string(kProtocolVersion) +
+                        ", server answered \"" + reply + "\"");
+        }
+        throw Error("unexpected PING reply: " + reply);
+    }
 }
 
 } // namespace fpm::serve

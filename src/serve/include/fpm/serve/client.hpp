@@ -5,6 +5,12 @@
 /// the throughput bench and anyone scripting against fpmpart_serve; the
 /// typed partition() helper decodes the reply through the shared
 /// protocol code so client-side values match the server bit-for-bit.
+///
+/// Every socket operation is bounded: connect() is attempted
+/// non-blocking and polled against Options::connect_timeout, and reads
+/// and writes carry SO_RCVTIMEO/SO_SNDTIMEO deadlines — a server that
+/// accepts but never replies produces a clear "timed out" fpm::Error
+/// instead of hanging the caller forever.
 #pragma once
 
 #include <cstdint>
@@ -17,26 +23,39 @@ namespace fpm::serve {
 /// See file comment.
 class ServeClient {
 public:
-    /// Connects immediately; throws fpm::Error on failure.
-    ServeClient(const std::string& host, std::uint16_t port);
+    struct Options {
+        double connect_timeout = 5.0;  ///< seconds; <= 0 blocks forever
+        double recv_timeout = 5.0;     ///< per send/recv, seconds; <= 0 blocks
+    };
+
+    /// Connects immediately; throws fpm::Error on failure or when the
+    /// connection does not complete within Options::connect_timeout.
+    ServeClient(const std::string& host, std::uint16_t port,
+                const Options& options);
+    ServeClient(const std::string& host, std::uint16_t port);  ///< default Options
+
     ~ServeClient();
 
     ServeClient(const ServeClient&) = delete;
     ServeClient& operator=(const ServeClient&) = delete;
 
     /// Sends one request line (without trailing newline) and returns the
-    /// response line.  Throws fpm::Error on I/O failure or server hangup.
+    /// response line.  Throws fpm::Error on I/O failure, server hangup
+    /// or a reply that does not arrive within Options::recv_timeout.
     std::string request(const std::string& line);
 
     /// PARTITION round trip with a decoded reply; throws fpm::Error when
     /// the server answers ERR.
     PartitionReply partition(const PartitionRequest& req);
 
-    /// PING round trip; throws unless the server answers OK PONG.
+    /// PING round trip; throws fpm::Error unless the server answers
+    /// `OK PONG v<kProtocolVersion>` — a mismatched revision is reported
+    /// as a protocol version error, not silently tolerated.
     void ping();
 
 private:
     int fd_ = -1;
+    Options options_;
     std::string buffer_;  // carry-over bytes between request() calls
 };
 

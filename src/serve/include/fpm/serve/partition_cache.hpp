@@ -16,23 +16,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
-#include <string_view>
-#include <vector>
 
-#include "fpm/part/column2d.hpp"
+#include "fpm/part/request.hpp"
 
 namespace fpm::serve {
 
-/// Partitioning algorithm selector (mirrors fpmpart_partition's
-/// --algorithm flag: the paper's FPM, the CPM baseline, and even shares).
-enum class Algorithm { kFpm, kCpm, kEven };
-
-/// Lower-case wire/CLI name of the algorithm.
-[[nodiscard]] const char* algorithm_name(Algorithm algorithm) noexcept;
-
-/// Inverse of algorithm_name(); nullopt for unknown spellings.
-[[nodiscard]] std::optional<Algorithm> parse_algorithm(std::string_view text) noexcept;
+/// The service speaks the library's algorithm vocabulary directly; the
+/// one string mapping lives in fpm::part (to_string/parse_algorithm).
+using Algorithm = part::Algorithm;
 
 /// Cache key; see file comment.
 struct PlanKey {
@@ -44,16 +35,11 @@ struct PlanKey {
     auto operator<=>(const PlanKey&) const = default;
 };
 
-/// A fully computed partitioning answer: integer shares plus (optionally)
-/// the column-based 2-D layout and its predicted quality metrics.
-struct PartitionPlan {
+/// A served partitioning answer: the library's PartitionPlan plus the
+/// cache identity and the model-set generation that produced it.
+struct PartitionPlan : part::PartitionPlan {
     PlanKey key;
     std::uint64_t generation = 0;  ///< model-set generation that produced it
-    std::vector<std::int64_t> blocks;
-    part::ColumnLayout layout;  ///< rects empty when !key.with_layout
-    double balanced_time = 0.0; ///< equalised time T (0 for cpm/even)
-    double makespan = 0.0;      ///< predicted max_i t_i under the models
-    std::int64_t comm_cost = 0; ///< half-perimeter sum (0 without layout)
 };
 
 /// Counter snapshot.

@@ -26,6 +26,11 @@
 
 namespace fpm::serve {
 
+/// Wire protocol revision.  PING answers `OK PONG v<kProtocolVersion>`;
+/// clients must refuse to talk to a server announcing a different
+/// revision (ServeClient::ping enforces this).
+inline constexpr int kProtocolVersion = 2;
+
 /// A parsed request line.
 struct Command {
     enum class Kind { kPing, kLoad, kPartition, kModels, kStats, kQuit };

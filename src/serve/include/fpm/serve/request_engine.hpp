@@ -15,6 +15,7 @@
 /// command.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -22,12 +23,16 @@
 #include <mutex>
 
 #include "fpm/measure/stats.hpp"
+#include "fpm/obs/metrics.hpp"
 #include "fpm/part/fpm_partitioner.hpp"
 #include "fpm/rt/thread_pool.hpp"
 #include "fpm/serve/model_registry.hpp"
 #include "fpm/serve/partition_cache.hpp"
 
 namespace fpm::serve {
+
+/// Number of Algorithm enumerators (indexes the per-algorithm stats).
+inline constexpr std::size_t kAlgorithmCount = 3;
 
 /// One partition query, as submitted by a client.
 struct PartitionRequest {
@@ -51,6 +56,10 @@ struct EngineStats {
     std::uint64_t computed = 0;   ///< full pipeline executions
     std::uint64_t coalesced = 0;  ///< requests served by single-flight dedup
     measure::Summary latency;     ///< per-request wall-clock seconds
+    /// Per-algorithm request latency (seconds), indexed by
+    /// static_cast<std::size_t>(Algorithm) — p50/p95/p99 feed the STATS
+    /// wire reply.
+    std::array<obs::HistogramSnapshot, kAlgorithmCount> latency_by_algorithm{};
     CacheStats cache;
 };
 
@@ -94,7 +103,7 @@ private:
         std::shared_future<std::shared_ptr<const PartitionPlan>> future;
     };
 
-    PartitionResponse finish(double latency,
+    PartitionResponse finish(double latency, Algorithm algorithm,
                              std::shared_ptr<const PartitionPlan> plan,
                              bool cache_hit, bool coalesced);
 
@@ -111,6 +120,9 @@ private:
     std::uint64_t computed_ = 0;
     std::uint64_t coalesced_ = 0;
     measure::RunningStats latency_;
+    /// Lock-free per-algorithm latency; indexed like
+    /// EngineStats::latency_by_algorithm.
+    std::array<obs::Histogram, kAlgorithmCount> latency_histograms_;
 };
 
 } // namespace fpm::serve

@@ -64,7 +64,8 @@ private:
 
     RequestEngine& engine_;
     Options options_;
-    int listen_fd_ = -1;
+    /// Atomic: stop() closes and clears it while accept_loop() reads it.
+    std::atomic<int> listen_fd_{-1};
     std::uint16_t port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};

@@ -4,31 +4,6 @@
 
 namespace fpm::serve {
 
-const char* algorithm_name(Algorithm algorithm) noexcept {
-    switch (algorithm) {
-    case Algorithm::kFpm:
-        return "fpm";
-    case Algorithm::kCpm:
-        return "cpm";
-    case Algorithm::kEven:
-        return "even";
-    }
-    return "?";
-}
-
-std::optional<Algorithm> parse_algorithm(std::string_view text) noexcept {
-    if (text == "fpm") {
-        return Algorithm::kFpm;
-    }
-    if (text == "cpm") {
-        return Algorithm::kCpm;
-    }
-    if (text == "even") {
-        return Algorithm::kEven;
-    }
-    return std::nullopt;
-}
-
 PartitionCache::PartitionCache(std::size_t capacity) : capacity_(capacity) {
     FPM_CHECK(capacity >= 1, "cache capacity must be positive");
 }

@@ -108,7 +108,7 @@ Command parse_command(const std::string& line) {
         command.partition.model_set = tokens[1];
         command.partition.n = parse_int(tokens[2], "workload size");
         FPM_CHECK(command.partition.n > 0, "workload size must be positive");
-        const auto algorithm = parse_algorithm(tokens[3]);
+        const auto algorithm = part::parse_algorithm(tokens[3]);
         FPM_CHECK(algorithm.has_value(), "unknown algorithm: " + tokens[3]);
         command.partition.algorithm = *algorithm;
         if (tokens.size() == 5) {
@@ -128,7 +128,7 @@ std::string format_partition_reply(const PartitionRequest& request,
     std::ostringstream out;
     out << "OK PARTITION model=" << request.model_set
         << " gen=" << plan.generation << " n=" << plan.key.n
-        << " algo=" << algorithm_name(plan.key.algorithm)
+        << " algo=" << part::to_string(plan.key.algorithm)
         << " cached=" << (response.cache_hit ? 1 : 0)
         << " coalesced=" << (response.coalesced ? 1 : 0)
         << " balanced=" << format_double(plan.balanced_time)
@@ -171,7 +171,7 @@ PartitionReply parse_partition_reply(const std::string& reply) {
     parsed.generation = static_cast<std::uint64_t>(
         parse_int(expect_kv(tokens[3], "gen"), "generation"));
     parsed.n = parse_int(expect_kv(tokens[4], "n"), "n");
-    const auto algorithm = parse_algorithm(expect_kv(tokens[5], "algo"));
+    const auto algorithm = part::parse_algorithm(expect_kv(tokens[5], "algo"));
     FPM_CHECK(algorithm.has_value(), "malformed algorithm in reply: " + reply);
     parsed.algorithm = *algorithm;
     parsed.cached = parse_int(expect_kv(tokens[6], "cached"), "cached") != 0;
@@ -206,7 +206,7 @@ std::string handle_line(RequestEngine& engine, const std::string& line) {
         const Command command = parse_command(line);
         switch (command.kind) {
         case Command::Kind::kPing:
-            return "OK PONG";
+            return "OK PONG v" + std::to_string(kProtocolVersion);
         case Command::Kind::kQuit:
             return "OK BYE";
         case Command::Kind::kLoad: {
@@ -253,6 +253,18 @@ std::string handle_line(RequestEngine& engine, const std::string& line) {
                 << format_double(stats.latency.mean * 1e6)
                 << " max_latency_us="
                 << format_double(stats.latency.max * 1e6);
+            for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+                const auto& h = stats.latency_by_algorithm[i];
+                const char* algo =
+                    part::to_string(static_cast<Algorithm>(i));
+                out << ' ' << algo << "_count=" << h.count
+                    << ' ' << algo
+                    << "_p50_us=" << format_double(h.p50 * 1e6)
+                    << ' ' << algo
+                    << "_p95_us=" << format_double(h.p95 * 1e6)
+                    << ' ' << algo
+                    << "_p99_us=" << format_double(h.p99 * 1e6);
+            }
             return out.str();
         }
         case Command::Kind::kPartition: {

@@ -1,13 +1,34 @@
 #include "fpm/serve/request_engine.hpp"
 
-#include <algorithm>
-
 #include "fpm/common/error.hpp"
 #include "fpm/measure/timer.hpp"
-#include "fpm/part/integer.hpp"
-#include "fpm/part/partition.hpp"
+#include "fpm/obs/trace.hpp"
+#include "fpm/part/request.hpp"
 
 namespace fpm::serve {
+
+namespace {
+
+/// Process-global mirrors of the engine counters; per-engine state feeds
+/// STATS, these feed MetricsRegistry::snapshot() and the trace tooling.
+struct ServeMetrics {
+    obs::Counter& requests;
+    obs::Counter& computed;
+    obs::Counter& coalesced;
+    obs::Counter& cache_hits;
+
+    static const ServeMetrics& get() {
+        static auto& registry = obs::MetricsRegistry::global();
+        static const ServeMetrics metrics{
+            registry.counter("serve.requests"),
+            registry.counter("serve.computed"),
+            registry.counter("serve.coalesced"),
+            registry.counter("serve.cache_hits")};
+        return metrics;
+    }
+};
+
+} // namespace
 
 RequestEngine::RequestEngine(ModelRegistry& registry, Options options)
     : registry_(registry),
@@ -21,63 +42,36 @@ RequestEngine::RequestEngine(ModelRegistry& registry)
 PartitionPlan RequestEngine::compute_plan(const ModelSet& set, std::int64_t n,
                                           Algorithm algorithm, bool with_layout,
                                           const part::FpmPartitionOptions& options) {
-    FPM_CHECK(n > 0, "workload size must be positive");
-    const auto& models = set.models;
-    const double total = static_cast<double>(n) * static_cast<double>(n);
-
-    part::Partition1D continuous;
-    double balanced_time = 0.0;
-    switch (algorithm) {
-    case Algorithm::kFpm: {
-        auto result = part::partition_fpm(models, total, options);
-        continuous = std::move(result.partition);
-        balanced_time = result.balanced_time;
-        break;
-    }
-    case Algorithm::kCpm: {
-        // The traditional baseline: each model collapses to its speed at
-        // the even share (fpmpart_partition's --algorithm cpm).
-        std::vector<double> speeds;
-        speeds.reserve(models.size());
-        const double share = total / static_cast<double>(models.size());
-        for (const auto& model : models) {
-            speeds.push_back(model.speed(std::min(share, model.max_problem())));
-        }
-        continuous = part::partition_cpm(speeds, total);
-        break;
-    }
-    case Algorithm::kEven:
-        continuous = part::partition_homogeneous(models.size(), total);
-        break;
-    }
+    obs::Span span("serve.compute", static_cast<std::uint64_t>(n));
+    part::PartitionRequest request;
+    request.models = set.models;
+    request.n = n;
+    request.algorithm = algorithm;
+    request.with_layout = with_layout;
+    request.options = options;
 
     PartitionPlan plan;
+    static_cast<part::PartitionPlan&>(plan) = part::partition(request);
     plan.key = PlanKey{set.fingerprint, n, algorithm, with_layout};
     plan.generation = set.generation;
-    plan.balanced_time = balanced_time;
-
-    auto rounded = part::round_partition(continuous, n * n, models);
-    plan.makespan = part::makespan(
-        models, std::span<const std::int64_t>(rounded.blocks));
-    if (with_layout) {
-        plan.layout = part::column_partition(n, rounded.blocks);
-        plan.comm_cost = plan.layout.comm_cost();
-    }
-    plan.blocks = std::move(rounded.blocks);
     return plan;
 }
 
-PartitionResponse RequestEngine::finish(double latency,
+PartitionResponse RequestEngine::finish(double latency, Algorithm algorithm,
                                         std::shared_ptr<const PartitionPlan> plan,
                                         bool cache_hit, bool coalesced) {
     {
         std::lock_guard lock(stats_mutex_);
         latency_.add(latency);
     }
+    latency_histograms_[static_cast<std::size_t>(algorithm)].record(latency);
     return PartitionResponse{std::move(plan), cache_hit, coalesced, latency};
 }
 
 PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
+    obs::Span span("serve.execute", static_cast<std::uint64_t>(request.n));
+    const ServeMetrics& metrics = ServeMetrics::get();
+    metrics.requests.add();
     measure::WallTimer timer;
     {
         std::lock_guard lock(stats_mutex_);
@@ -98,7 +92,9 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
     {
         std::lock_guard lock(inflight_mutex_);
         if (auto plan = cache_.get(key)) {
-            return finish(timer.elapsed(), std::move(plan), true, false);
+            metrics.cache_hits.add();
+            return finish(timer.elapsed(), request.algorithm, std::move(plan),
+                          true, false);
         }
         if (const auto it = inflight_.find(key); it != inflight_.end()) {
             flight = it->second;
@@ -116,7 +112,9 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
             std::lock_guard lock(stats_mutex_);
             ++coalesced_;
         }
-        return finish(timer.elapsed(), std::move(plan), false, true);
+        metrics.coalesced.add();
+        return finish(timer.elapsed(), request.algorithm, std::move(plan),
+                      false, true);
     }
 
     try {
@@ -133,7 +131,9 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
             std::lock_guard lock(stats_mutex_);
             ++computed_;
         }
-        return finish(timer.elapsed(), std::move(plan), false, false);
+        metrics.computed.add();
+        return finish(timer.elapsed(), request.algorithm, std::move(plan),
+                      false, false);
     } catch (...) {
         {
             std::lock_guard lock(inflight_mutex_);
@@ -157,6 +157,9 @@ EngineStats RequestEngine::stats() const {
         stats.computed = computed_;
         stats.coalesced = coalesced_;
         stats.latency = latency_.summary();
+    }
+    for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+        stats.latency_by_algorithm[i] = latency_histograms_[i].snapshot();
     }
     stats.cache = cache_.stats();
     return stats;

@@ -41,7 +41,7 @@ SocketServer::SocketServer(RequestEngine& engine)
 SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::start() {
-    FPM_CHECK(listen_fd_ < 0, "server already started");
+    FPM_CHECK(listen_fd_.load() < 0, "server already started");
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     FPM_CHECK(fd >= 0, std::string("socket(): ") + std::strerror(errno));
@@ -79,7 +79,7 @@ void SocketServer::start() {
         throw Error("getsockname(): " + reason);
     }
     port_ = ntohs(bound.sin_port);
-    listen_fd_ = fd;
+    listen_fd_.store(fd);
     stopping_.store(false);
     running_.store(true);
     accept_thread_ = std::thread([this]() { accept_loop(); });
@@ -90,10 +90,9 @@ void SocketServer::stop() {
         return;
     }
     stopping_.store(true);
-    if (listen_fd_ >= 0) {
-        ::shutdown(listen_fd_, SHUT_RDWR);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+    if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
     }
     {
         // Knock blocked connection reads loose so their threads exit.
@@ -129,7 +128,11 @@ void SocketServer::untrack_fd(int fd) {
 
 void SocketServer::accept_loop() {
     while (!stopping_.load()) {
-        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        const int listen_fd = listen_fd_.load();
+        if (listen_fd < 0) {
+            break;  // stop() already closed the listening socket
+        }
+        const int client = ::accept(listen_fd, nullptr, nullptr);
         if (client < 0) {
             if (errno == EINTR) {
                 continue;

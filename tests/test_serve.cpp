@@ -6,16 +6,24 @@
 // repeated queries measurably faster than cold ones.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fpm/core/model_io.hpp"
 #include "fpm/measure/timer.hpp"
+#include "fpm/obs/trace.hpp"
 #include "fpm/serve/client.hpp"
 #include "fpm/serve/model_registry.hpp"
 #include "fpm/serve/partition_cache.hpp"
@@ -148,9 +156,9 @@ TEST(PartitionCacheTest, KeyOrderingDiscriminatesEveryField) {
 TEST(Protocol, AlgorithmNamesRoundTrip) {
     for (const Algorithm algorithm :
          {Algorithm::kFpm, Algorithm::kCpm, Algorithm::kEven}) {
-        EXPECT_EQ(parse_algorithm(algorithm_name(algorithm)), algorithm);
+        EXPECT_EQ(part::parse_algorithm(part::to_string(algorithm)), algorithm);
     }
-    EXPECT_EQ(parse_algorithm("nope"), std::nullopt);
+    EXPECT_EQ(part::parse_algorithm("nope"), std::nullopt);
 }
 
 TEST(Protocol, ParseCommand) {
@@ -188,7 +196,7 @@ TEST(Protocol, HandleLineBasics) {
     registry.put("tiny", synthetic_models(2, 8, 1.0));
     RequestEngine engine(registry, {.workers = 2, .cache_capacity = 8});
 
-    EXPECT_EQ(handle_line(engine, "PING"), "OK PONG");
+    EXPECT_EQ(handle_line(engine, "PING"), "OK PONG v2");
     EXPECT_EQ(handle_line(engine, "QUIT"), "OK BYE");
     EXPECT_EQ(handle_line(engine, "BOGUS").rfind("ERR ", 0), 0U);
     EXPECT_EQ(handle_line(engine, "PARTITION missing 10 fpm").rfind("ERR ", 0),
@@ -209,6 +217,14 @@ TEST(Protocol, HandleLineBasics) {
     const std::string stats = handle_line(engine, "STATS");
     EXPECT_NE(stats.find("OK STATS requests=2"), std::string::npos) << stats;
     EXPECT_NE(stats.find("computed=1"), std::string::npos) << stats;
+
+    // Per-algorithm latency quantiles: only the fpm request completed.
+    EXPECT_NE(stats.find(" fpm_count=1"), std::string::npos) << stats;
+    EXPECT_NE(stats.find(" fpm_p50_us="), std::string::npos) << stats;
+    EXPECT_NE(stats.find(" fpm_p95_us="), std::string::npos) << stats;
+    EXPECT_NE(stats.find(" fpm_p99_us="), std::string::npos) << stats;
+    EXPECT_NE(stats.find(" cpm_count=0"), std::string::npos) << stats;
+    EXPECT_NE(stats.find(" even_count=0"), std::string::npos) << stats;
 
     EXPECT_THROW(parse_partition_reply("ERR kaput"), fpm::Error);
     EXPECT_THROW(parse_partition_reply("OK PONG"), fpm::Error);
@@ -322,6 +338,13 @@ TEST(RequestEngineTest, SingleFlightCoalescesIdenticalRequests) {
     EXPECT_EQ(stats.computed, 1U);
     EXPECT_EQ(stats.coalesced + stats.cache.hits, kClients - 1);
     EXPECT_EQ(stats.latency.count, kClients);
+    // Per-algorithm latency histogram saw every request (all were fpm).
+    EXPECT_EQ(stats.latency_by_algorithm[static_cast<std::size_t>(
+                  Algorithm::kFpm)].count,
+              kClients);
+    EXPECT_EQ(stats.latency_by_algorithm[static_cast<std::size_t>(
+                  Algorithm::kCpm)].count,
+              0U);
 }
 
 TEST(RequestEngineTest, SubmitRunsOnPool) {
@@ -474,6 +497,97 @@ TEST(ServeIntegration, WireLoadStatsAndQuit) {
 
     server.stop();
     std::remove(csv.c_str());
+}
+
+/// Binds a loopback listener on an ephemeral port (never accepts unless
+/// the test does so itself); returns {fd, port}.
+std::pair<int, std::uint16_t> loopback_listener() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    EXPECT_EQ(::listen(fd, 4), 0);
+    socklen_t len = sizeof addr;
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    return {fd, ntohs(addr.sin_port)};
+}
+
+TEST(ServeClientTest, RecvTimeoutOnServerThatAcceptsButNeverReplies) {
+    const auto [fd, port] = loopback_listener();
+
+    ServeClient::Options options;
+    options.connect_timeout = 2.0;
+    options.recv_timeout = 0.2;
+    ServeClient client("127.0.0.1", port, options);  // lands in the backlog
+
+    measure::WallTimer timer;
+    try {
+        (void)client.request("PING");
+        FAIL() << "expected a timeout error";
+    } catch (const fpm::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+            << e.what();
+    }
+    EXPECT_LT(timer.elapsed(), 2.0);  // bounded, not hanging forever
+    ::close(fd);
+}
+
+TEST(ServeClientTest, RejectsProtocolVersionMismatch) {
+    const auto [fd, port] = loopback_listener();
+    std::thread impostor([fd = fd]() {
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            return;
+        }
+        char buffer[256];
+        (void)::recv(conn, buffer, sizeof buffer, 0);
+        const char reply[] = "OK PONG v1\n";
+        (void)::send(conn, reply, sizeof reply - 1, MSG_NOSIGNAL);
+        ::close(conn);
+    });
+
+    ServeClient client("127.0.0.1", port);
+    try {
+        client.ping();
+        FAIL() << "expected a protocol version error";
+    } catch (const fpm::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("protocol version mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+    impostor.join();
+    ::close(fd);
+}
+
+TEST(ServeIntegration, ExportsChromeTraceOfServedRequests) {
+    const std::string trace_path = "/tmp/fpmpart_serve_trace.json";
+    std::remove(trace_path.c_str());
+    obs::enable_tracing(trace_path);
+    {
+        ModelRegistry registry;
+        registry.put("traced", synthetic_models(3, 32, 1.0));
+        RequestEngine engine(registry, {.workers = 2, .cache_capacity = 16});
+        for (int i = 0; i < 4; ++i) {
+            engine.execute({"traced", 24 + 4 * i, Algorithm::kFpm, true});
+        }
+        engine.execute({"traced", 24, Algorithm::kFpm, true});  // cache hit
+    }
+    obs::flush_trace();
+    obs::disable_tracing();
+
+    std::ifstream in(trace_path);
+    ASSERT_TRUE(in.is_open()) << trace_path;
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("serve.execute"), std::string::npos);
+    EXPECT_NE(json.find("serve.compute"), std::string::npos);
+    EXPECT_NE(json.find("part.fpm_partition"), std::string::npos);
+    std::remove(trace_path.c_str());
 }
 
 } // namespace

@@ -10,7 +10,7 @@
 // Usage:
 //   fpmpart_model [--source sim|host] [--config hybrid|cpu|gpu0|gpu1]
 //                 [--version 1|2|3] [--noise SIGMA] [--xmax BLOCKS]
-//                 [--points N] [--out FILE]
+//                 [--points N] [--out FILE] [--trace FILE]
 //
 // Defaults: --source sim --config hybrid --version 3 --noise 0
 //           --xmax 5200 --points 44 --out models.csv
@@ -26,7 +26,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: fpmpart_model [--source sim|host] [--config hybrid|cpu|gpu0|gpu1]\n"
     "                     [--version 1|2|3] [--noise SIGMA] [--xmax BLOCKS]\n"
-    "                     [--points N] [--out FILE]\n";
+    "                     [--points N] [--out FILE] [--trace FILE]\n";
 
 } // namespace
 
@@ -44,8 +44,9 @@ int main(int argc, char** argv) {
             const fpmtool::ArgParser args(argc, argv,
                                           {"--source", "--config", "--version",
                                            "--noise", "--xmax", "--points",
-                                           "--out"});
+                                           "--out", "--trace"});
             source = args.value("--source", "sim");
+            fpmtool::init_tracing(args);
             config = args.value("--config", "hybrid");
             version_arg = static_cast<int>(args.int_value("--version", 3));
             noise = args.double_value("--noise", 0.0);

@@ -1,13 +1,15 @@
 // fpmpart_partition — partition a workload using saved models.
 //
 // Loads a model CSV (see fpmpart_model / core::model_io), runs the chosen
-// partitioning algorithm for an n x n block matrix, and prints the
-// per-device shares, the balanced-time prediction and the 2-D column
-// layout.  Optionally writes the layout as CSV.
+// partitioning algorithm for an n x n block matrix through the
+// fpm::part::partition facade, and prints the per-device shares, the
+// balanced-time prediction and the 2-D column layout.  Optionally writes
+// the layout as CSV.
 //
 // Usage:
 //   fpmpart_partition --models FILE --n SIZE
 //                     [--algorithm fpm|cpm|even] [--layout-out FILE]
+//                     [--trace FILE]
 //
 // The CPM variant reduces every model to its speed at the even share
 // (the traditional approach the paper compares against).
@@ -15,9 +17,7 @@
 #include <string>
 
 #include "fpm/core/model_io.hpp"
-#include "fpm/part/column2d.hpp"
-#include "fpm/part/fpm_partitioner.hpp"
-#include "fpm/part/integer.hpp"
+#include "fpm/part/request.hpp"
 #include "fpm/trace/csv.hpp"
 #include "fpm/trace/table.hpp"
 #include "tool_args.hpp"
@@ -26,7 +26,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: fpmpart_partition --models FILE --n SIZE "
-    "[--algorithm fpm|cpm|even] [--layout-out FILE]\n";
+    "[--algorithm fpm|cpm|even] [--layout-out FILE] [--trace FILE]\n";
 
 } // namespace
 
@@ -35,15 +35,18 @@ int main(int argc, char** argv) {
     try {
         std::string models_path;
         std::int64_t n = 0;
-        std::string algorithm;
+        std::string algorithm_text;
         std::string layout_out;
+        std::optional<part::Algorithm> algorithm;
         try {
             const fpmtool::ArgParser args(
-                argc, argv, {"--models", "--n", "--algorithm", "--layout-out"});
+                argc, argv,
+                {"--models", "--n", "--algorithm", "--layout-out", "--trace"});
             models_path = args.value("--models", "");
             n = args.int_value("--n", 0);
-            algorithm = args.value("--algorithm", "fpm");
+            algorithm_text = args.value("--algorithm", "fpm");
             layout_out = args.value("--layout-out", "");
+            fpmtool::init_tracing(args);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
             return 2;
@@ -54,70 +57,53 @@ int main(int argc, char** argv) {
             return 2;
         }
         // Reject a bad algorithm before paying for the model load.
-        if (algorithm != "fpm" && algorithm != "cpm" && algorithm != "even") {
+        algorithm = part::parse_algorithm(algorithm_text);
+        if (!algorithm.has_value()) {
             std::fprintf(stderr, "unknown --algorithm '%s'\n%s",
-                         algorithm.c_str(), kUsage);
+                         algorithm_text.c_str(), kUsage);
             return 2;
         }
 
         const auto models = core::load_speed_functions_csv(models_path);
+
+        part::PartitionRequest request;
+        request.models = models;
+        request.n = n;
+        request.algorithm = *algorithm;
+        request.with_layout = true;
+        const part::PartitionPlan plan = part::partition(request);
         const double total = static_cast<double>(n) * static_cast<double>(n);
-
-        part::Partition1D continuous;
-        double balanced_time = 0.0;
-        if (algorithm == "fpm") {
-            auto result = part::partition_fpm(models, total);
-            continuous = std::move(result.partition);
-            balanced_time = result.balanced_time;
-        } else if (algorithm == "cpm") {
-            std::vector<double> speeds;
-            speeds.reserve(models.size());
-            const double share =
-                total / static_cast<double>(models.size());
-            for (const auto& model : models) {
-                speeds.push_back(
-                    model.speed(std::min(share, model.max_problem())));
-            }
-            continuous = part::partition_cpm(speeds, total);
-        } else {
-            continuous = part::partition_homogeneous(models.size(), total);
-        }
-
-        const auto blocks = part::round_partition(continuous, n * n, models);
-        const auto layout = part::column_partition(n, blocks.blocks);
 
         std::printf("%s partitioning of a %lld x %lld block matrix over %zu "
                     "device(s)\n\n",
-                    algorithm.c_str(), static_cast<long long>(n),
+                    part::to_string(plan.algorithm), static_cast<long long>(n),
                     static_cast<long long>(n), models.size());
 
         trace::Table table({"device", "blocks", "share %", "rect",
                             "predicted time (s)"});
         for (std::size_t i = 0; i < models.size(); ++i) {
-            const auto& rect = layout.rects[i];
+            const auto& rect = plan.layout.rects[i];
             table.row()
                 .cell(models[i].name())
-                .cell(blocks.blocks[i])
-                .cell(100.0 * static_cast<double>(blocks.blocks[i]) / total, 1)
+                .cell(plan.blocks[i])
+                .cell(100.0 * static_cast<double>(plan.blocks[i]) / total, 1)
                 .cell(std::to_string(rect.w) + " x " + std::to_string(rect.h))
-                .cell(models[i].time(static_cast<double>(blocks.blocks[i])), 3);
+                .cell(models[i].time(static_cast<double>(plan.blocks[i])), 3);
         }
         table.print();
-        std::printf("\npredicted makespan: %.3f s",
-                    part::makespan(models, std::span<const std::int64_t>(
-                                               blocks.blocks)));
-        if (balanced_time > 0.0) {
-            std::printf(" (balanced time %.3f s)", balanced_time);
+        std::printf("\npredicted makespan: %.3f s", plan.makespan);
+        if (plan.balanced_time > 0.0) {
+            std::printf(" (balanced time %.3f s)", plan.balanced_time);
         }
         std::printf("\ncommunication cost (half-perimeter sum): %lld blocks\n",
-                    static_cast<long long>(layout.comm_cost()));
+                    static_cast<long long>(plan.comm_cost));
 
         if (!layout_out.empty()) {
             trace::CsvWriter csv(layout_out);
             csv.write_row(std::vector<std::string>{"device", "col0", "row0",
                                                    "w", "h"});
-            for (std::size_t i = 0; i < layout.rects.size(); ++i) {
-                const auto& rect = layout.rects[i];
+            for (std::size_t i = 0; i < plan.layout.rects.size(); ++i) {
+                const auto& rect = plan.layout.rects[i];
                 csv.write_row(std::vector<std::string>{
                     models[i].name(), std::to_string(rect.col0),
                     std::to_string(rect.row0), std::to_string(rect.w),

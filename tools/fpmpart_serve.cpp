@@ -13,6 +13,7 @@
 // Usage:
 //   fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]
 //                 [--port P] [--bind ADDR] [--threads N] [--cache N]
+//                 [--trace FILE]
 //
 // Port 0 (the default) picks an ephemeral port; the bound port is
 // printed on startup.  The process serves until stdin reaches EOF
@@ -27,7 +28,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]\n"
-    "                     [--port P] [--bind ADDR] [--threads N] [--cache N]\n";
+    "                     [--port P] [--bind ADDR] [--threads N] [--cache N]\n"
+    "                     [--trace FILE]\n";
 
 } // namespace
 
@@ -41,9 +43,11 @@ int main(int argc, char** argv) {
         long long cache_capacity = 1024;
         try {
             const fpmtool::ArgParser args(
-                argc, argv, {"--port", "--bind", "--threads", "--cache"},
+                argc, argv,
+                {"--port", "--bind", "--threads", "--cache", "--trace"},
                 {"--models"});
             model_specs = args.values("--models");
+            fpmtool::init_tracing(args);
             port = args.int_value("--port", 0);
             bind_address = args.value("--bind", "127.0.0.1");
             threads = args.int_value("--threads", 4);

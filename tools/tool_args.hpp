@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fpm/common/error.hpp"
+#include "fpm/obs/trace.hpp"
 
 namespace fpmtool {
 
@@ -100,5 +101,16 @@ private:
     std::map<std::string, bool> known_;  // flag -> repeatable?
     std::map<std::string, std::vector<std::string>> values_;
 };
+
+/// Shared `--trace FILE` handling: an explicit flag wins, otherwise the
+/// FPMPART_TRACE environment variable decides.  The export is flushed at
+/// process exit.
+inline void init_tracing(const ArgParser& args) {
+    if (args.has("--trace")) {
+        fpm::obs::enable_tracing(args.value("--trace", ""));
+    } else {
+        fpm::obs::init_tracing_from_env();
+    }
+}
 
 } // namespace fpmtool
