@@ -4,7 +4,11 @@
 // the ROADMAP's traffic goals are measured against.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "fpm/serve/client.hpp"
+#include "fpm/serve/protocol.hpp"
 #include "fpm/serve/model_registry.hpp"
 #include "fpm/serve/request_engine.hpp"
 #include "fpm/serve/server.hpp"
@@ -105,6 +109,80 @@ void BM_SocketPartitionRoundTrip(benchmark::State& state) {
     server.stop();
 }
 BENCHMARK(BM_SocketPartitionRoundTrip);
+
+std::string cached_partition_line() {
+    Request request;
+    request.kind = Request::Kind::kPartition;
+    request.partition = PartitionRequest{"hybrid", 52, Algorithm::kFpm, true};
+    return request.encode();
+}
+
+// The pre-reactor wire pattern, scaled out: Arg(N) connections, each
+// doing strict one-request-per-round-trip in lockstep phases.  This is
+// the baseline the reactor's pipelining is measured against.
+void BM_SocketRoundTripPerRequest(benchmark::State& state) {
+    auto& f = fixture();
+    ServeConfig config;
+    config.max_connections = 256;
+    SocketServer server(f.engine, config);
+    server.start();
+    const auto conns = static_cast<std::size_t>(state.range(0));
+    const std::string line = cached_partition_line();
+    {
+        std::vector<std::unique_ptr<ServeClient>> clients;
+        for (std::size_t c = 0; c < conns; ++c) {
+            clients.push_back(
+                std::make_unique<ServeClient>("127.0.0.1", server.port()));
+        }
+        clients.front()->request(line);  // warm the cache
+        for (auto _ : state) {
+            for (auto& client : clients) {
+                // One request in flight per connection at any time —
+                // the reply gates the next request, like the old
+                // blocking handler loop's clients.
+                benchmark::DoNotOptimize(client->request(line));
+            }
+        }
+    }
+    server.stop();
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(conns));
+}
+BENCHMARK(BM_SocketRoundTripPerRequest)->Arg(1)->Arg(64);
+
+// Reactor pipelining: every connection keeps a 32-deep batch in flight;
+// items/s here vs BM_SocketRoundTripPerRequest/64 is the headline
+// request-throughput win of the event-driven redesign.
+void BM_SocketPipelinedThroughput(benchmark::State& state) {
+    auto& f = fixture();
+    ServeConfig config;
+    config.max_connections = 256;
+    SocketServer server(f.engine, config);
+    server.start();
+    const auto conns = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kBatch = 32;
+    const std::vector<std::string> batch(kBatch, cached_partition_line());
+    {
+        std::vector<std::unique_ptr<ServeClient>> clients;
+        for (std::size_t c = 0; c < conns; ++c) {
+            clients.push_back(
+                std::make_unique<ServeClient>("127.0.0.1", server.port()));
+        }
+        clients.front()->request(batch.front());  // warm the cache
+        for (auto _ : state) {
+            for (auto& client : clients) {
+                client->send_lines(batch);  // all batches in flight at once
+            }
+            for (auto& client : clients) {
+                benchmark::DoNotOptimize(client->read_replies(kBatch));
+            }
+        }
+    }
+    server.stop();
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(conns * kBatch));
+}
+BENCHMARK(BM_SocketPipelinedThroughput)->Arg(1)->Arg(8)->Arg(64);
 
 // Protocol overhead alone.
 void BM_SocketPingRoundTrip(benchmark::State& state) {

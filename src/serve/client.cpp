@@ -11,7 +11,6 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
-#include <sstream>
 
 #include "fpm/common/error.hpp"
 
@@ -73,8 +72,8 @@ void connect_with_timeout(int fd, const sockaddr_in& addr, double timeout) {
 } // namespace
 
 ServeClient::ServeClient(const std::string& host, std::uint16_t port,
-                         const Options& options)
-    : options_(options) {
+                         const ServeConfig& config)
+    : config_(config) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     FPM_CHECK(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
 
@@ -85,7 +84,7 @@ ServeClient::ServeClient(const std::string& host, std::uint16_t port,
         FPM_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
                   "invalid server address: " + host);
         try {
-            connect_with_timeout(fd_, addr, options_.connect_timeout);
+            connect_with_timeout(fd_, addr, config_.connect_timeout);
         } catch (const Error& e) {
             throw Error(std::string(e.what()) + " [" + host + ":" +
                         std::to_string(port) + "]");
@@ -93,8 +92,8 @@ ServeClient::ServeClient(const std::string& host, std::uint16_t port,
 
         const int one = 1;
         ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        if (options_.recv_timeout > 0.0) {
-            const timeval tv = to_timeval(options_.recv_timeout);
+        if (config_.recv_timeout > 0.0) {
+            const timeval tv = to_timeval(config_.recv_timeout);
             ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
             ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
         }
@@ -106,7 +105,7 @@ ServeClient::ServeClient(const std::string& host, std::uint16_t port,
 }
 
 ServeClient::ServeClient(const std::string& host, std::uint16_t port)
-    : ServeClient(host, port, Options{}) {}
+    : ServeClient(host, port, ServeConfig{}) {}
 
 ServeClient::~ServeClient() {
     if (fd_ >= 0) {
@@ -114,9 +113,7 @@ ServeClient::~ServeClient() {
     }
 }
 
-std::string ServeClient::request(const std::string& line) {
-    FPM_CHECK(fd_ >= 0, "client is not connected");
-    const std::string framed = line + "\n";
+void ServeClient::send_all(const std::string& framed) {
     std::size_t sent = 0;
     while (sent < framed.size()) {
         const ssize_t n = ::send(fd_, framed.data() + sent,
@@ -132,7 +129,9 @@ std::string ServeClient::request(const std::string& line) {
         }
         sent += static_cast<std::size_t>(n);
     }
+}
 
+std::string ServeClient::read_line() {
     char chunk[4096];
     for (;;) {
         const auto newline = buffer_.find('\n');
@@ -156,28 +155,67 @@ std::string ServeClient::request(const std::string& line) {
     }
 }
 
-PartitionReply ServeClient::partition(const PartitionRequest& req) {
-    std::ostringstream line;
-    line << "PARTITION " << req.model_set << ' ' << req.n << ' '
-         << part::to_string(req.algorithm);
-    if (!req.with_layout) {
-        line << " nolayout";
+std::string ServeClient::request(const std::string& line) {
+    FPM_CHECK(fd_ >= 0, "client is not connected");
+    send_all(line + "\n");
+    return read_line();
+}
+
+void ServeClient::send_lines(const std::vector<std::string>& lines) {
+    FPM_CHECK(fd_ >= 0, "client is not connected");
+    std::string framed;
+    for (const std::string& line : lines) {
+        framed += line;
+        framed += '\n';
     }
-    return parse_partition_reply(request(line.str()));
+    send_all(framed);
+}
+
+std::vector<std::string> ServeClient::read_replies(std::size_t count) {
+    FPM_CHECK(fd_ >= 0, "client is not connected");
+    std::vector<std::string> replies;
+    replies.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        replies.push_back(read_line());
+    }
+    return replies;
+}
+
+std::vector<std::string>
+ServeClient::pipeline(const std::vector<std::string>& lines) {
+    send_lines(lines);
+    return read_replies(lines.size());
+}
+
+Response ServeClient::call(const Request& req) {
+    return Response::decode(request(req.encode()));
+}
+
+PartitionReply ServeClient::partition(const PartitionRequest& req) {
+    Request wire;
+    wire.kind = Request::Kind::kPartition;
+    wire.partition = req;
+    const Response response = call(wire);
+    if (response.kind == Response::Kind::kError) {
+        throw Error("server error: " + response.error);
+    }
+    FPM_CHECK(response.kind == Response::Kind::kPartition,
+              "malformed partition reply");
+    return response.partition;
 }
 
 void ServeClient::ping() {
-    const std::string reply = request("PING");
-    const std::string expected =
-        "OK PONG v" + std::to_string(kProtocolVersion);
-    if (reply != expected) {
-        if (reply.rfind("OK PONG", 0) == 0) {
+    const std::string raw = request(Request{}.encode());  // kPing default
+    const Response response = Response::decode(raw);
+    if (response.kind == Response::Kind::kPong) {
+        if (response.version != kProtocolVersion) {
             throw Error("protocol version mismatch: client speaks v" +
                         std::to_string(kProtocolVersion) +
-                        ", server answered \"" + reply + "\"");
+                        ", server answered \"" + raw + "\"");
         }
-        throw Error("unexpected PING reply: " + reply);
+        return;
     }
+    throw Error("unexpected PING reply: " + raw);
 }
 
 } // namespace fpm::serve

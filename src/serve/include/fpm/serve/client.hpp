@@ -1,38 +1,38 @@
 /// \file client.hpp
 /// \brief Blocking TCP client for the partition service.
 ///
-/// One connection, one request line per round trip.  Used by the tests,
-/// the throughput bench and anyone scripting against fpmpart_serve; the
-/// typed partition() helper decodes the reply through the shared
-/// protocol code so client-side values match the server bit-for-bit.
+/// One connection; request() does one line round trip, pipeline() writes
+/// a whole batch of request lines before reading the batch of responses
+/// — the client side of the reactor's request pipelining, and the shape
+/// the throughput bench measures.  Typed helpers (partition(), ping())
+/// encode and decode through the shared protocol structs, so
+/// client-side values match the server bit-for-bit.
 ///
-/// Every socket operation is bounded: connect() is attempted
-/// non-blocking and polled against Options::connect_timeout, and reads
-/// and writes carry SO_RCVTIMEO/SO_SNDTIMEO deadlines — a server that
-/// accepts but never replies produces a clear "timed out" fpm::Error
-/// instead of hanging the caller forever.
+/// Deadlines come from the same ServeConfig the server consumes:
+/// connect() is attempted non-blocking and polled against
+/// ServeConfig::connect_timeout, and reads/writes carry
+/// SO_RCVTIMEO/SO_SNDTIMEO deadlines of ServeConfig::recv_timeout — a
+/// server that accepts but never replies produces a clear "timed out"
+/// fpm::Error instead of hanging the caller forever.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fpm/serve/protocol.hpp"
+#include "fpm/serve/serve_config.hpp"
 
 namespace fpm::serve {
 
 /// See file comment.
 class ServeClient {
 public:
-    struct Options {
-        double connect_timeout = 5.0;  ///< seconds; <= 0 blocks forever
-        double recv_timeout = 5.0;     ///< per send/recv, seconds; <= 0 blocks
-    };
-
     /// Connects immediately; throws fpm::Error on failure or when the
-    /// connection does not complete within Options::connect_timeout.
+    /// connection does not complete within ServeConfig::connect_timeout.
     ServeClient(const std::string& host, std::uint16_t port,
-                const Options& options);
-    ServeClient(const std::string& host, std::uint16_t port);  ///< default Options
+                const ServeConfig& config);
+    ServeClient(const std::string& host, std::uint16_t port);  ///< defaults
 
     ~ServeClient();
 
@@ -41,22 +41,41 @@ public:
 
     /// Sends one request line (without trailing newline) and returns the
     /// response line.  Throws fpm::Error on I/O failure, server hangup
-    /// or a reply that does not arrive within Options::recv_timeout.
+    /// or a reply that does not arrive within ServeConfig::recv_timeout.
     std::string request(const std::string& line);
+
+    /// Pipelines a batch: writes every line back-to-back, then reads
+    /// exactly lines.size() response lines (the server answers in
+    /// request order).  Throws like request(); on failure the
+    /// connection state is unspecified and the client should be
+    /// discarded.
+    std::vector<std::string> pipeline(const std::vector<std::string>& lines);
+
+    /// Half-duplex halves of pipeline(), for callers that keep several
+    /// connections in flight at once: send_lines() writes a batch
+    /// without reading, read_replies() reads `count` response lines.
+    void send_lines(const std::vector<std::string>& lines);
+    std::vector<std::string> read_replies(std::size_t count);
+
+    /// Typed request round trip: encode, send, decode.
+    Response call(const Request& request);
 
     /// PARTITION round trip with a decoded reply; throws fpm::Error when
     /// the server answers ERR.
     PartitionReply partition(const PartitionRequest& req);
 
-    /// PING round trip; throws fpm::Error unless the server answers
-    /// `OK PONG v<kProtocolVersion>` — a mismatched revision is reported
-    /// as a protocol version error, not silently tolerated.
+    /// PING round trip; throws fpm::Error unless the server answers a
+    /// PONG carrying exactly kProtocolVersion — a mismatched revision is
+    /// reported as a protocol version error, not silently tolerated.
     void ping();
 
 private:
+    void send_all(const std::string& framed);
+    std::string read_line();
+
     int fd_ = -1;
-    Options options_;
-    std::string buffer_;  // carry-over bytes between request() calls
+    ServeConfig config_;
+    std::string buffer_;  // carry-over bytes between reads
 };
 
 } // namespace fpm::serve

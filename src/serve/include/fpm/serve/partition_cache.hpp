@@ -59,6 +59,13 @@ public:
     /// Returns the cached plan and refreshes its recency, or nullptr.
     [[nodiscard]] std::shared_ptr<const PartitionPlan> get(const PlanKey& key);
 
+    /// get(), except a miss is not counted in stats() — for speculative
+    /// probes (the reactor's cache-hit fast path) whose misses fall back
+    /// to the counting path, so each request still records exactly one
+    /// lookup.  A hit counts (and refreshes recency) as usual.
+    [[nodiscard]] std::shared_ptr<const PartitionPlan>
+    probe(const PlanKey& key);
+
     /// Inserts (or refreshes) `plan`, evicting the least recently used
     /// entry when full.
     void put(const PlanKey& key, std::shared_ptr<const PartitionPlan> plan);

@@ -1,24 +1,27 @@
 /// \file protocol.hpp
-/// \brief The line-oriented text protocol of the partition service.
+/// \brief Typed messages of the partition-service wire protocol.
 ///
-/// One request line, one response line; fields are space-separated,
-/// values never contain spaces.  Commands:
+/// The wire format stays line-oriented text — one request line, one
+/// response line, space-separated fields, values never contain spaces —
+/// but nothing outside this module splices or splits those strings.
+/// Every message is a typed struct with `encode()`/`decode()`, and the
+/// reactor, ServeClient, the tools and the tests all speak structs:
 ///
-///     PING
-///     LOAD <name> <path>
-///     PARTITION <model> <n> <algorithm> [nolayout]
-///     MODELS
-///     STATS
-///     QUIT
+///     PING                                    -> OK PONG v<version>
+///     LOAD <name> <path>                      -> OK LOADED ...
+///     PARTITION <model> <n> <algo> [nolayout] -> OK PARTITION ...
+///     MODELS                                  -> OK MODELS ...
+///     STATS                                   -> OK STATS ...
+///     QUIT                                    -> OK BYE
 ///
-/// Responses start with `OK` or `ERR <message>`.  Doubles travel as
-/// shortest-exact decimal (%.17g), so a partition reply parsed back by
-/// the client compares bit-for-bit with the direct library call.  The
-/// parsing/formatting functions are shared by the socket server, the
-/// client helper, the tests and the throughput bench so there is exactly
-/// one implementation of the wire format.
+/// Failures are `ERR <message>`.  Doubles travel as shortest-exact
+/// decimal (%.17g), so a partition reply decoded by the client compares
+/// bit-for-bit with the direct library call.  kProtocolVersion is the
+/// single revision constant: PING carries it, ServeClient::ping()
+/// enforces it, and nothing else restates it.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,37 +29,28 @@
 
 namespace fpm::serve {
 
-/// Wire protocol revision.  PING answers `OK PONG v<kProtocolVersion>`;
-/// clients must refuse to talk to a server announcing a different
-/// revision (ServeClient::ping enforces this).
-inline constexpr int kProtocolVersion = 2;
+/// Wire protocol revision.  v3: typed messages and the reactor's STATS
+/// fields (connection gauges, queue-to-reply quantiles).  Clients must
+/// refuse to talk to a server announcing a different revision
+/// (ServeClient::ping enforces this).
+inline constexpr int kProtocolVersion = 3;
 
-/// A parsed request line.
-struct Command {
+/// A request message.  decode() parses a wire line (throws fpm::Error
+/// with a client-safe message on unknown verbs, arity errors or
+/// malformed numbers); encode() renders the line the client sends.
+struct Request {
     enum class Kind { kPing, kLoad, kPartition, kModels, kStats, kQuit };
 
     Kind kind = Kind::kPing;
     PartitionRequest partition;  ///< kPartition
     std::string name;            ///< kLoad: registry name
     std::string path;            ///< kLoad: model CSV path
+
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static Request decode(const std::string& line);
 };
 
-/// Parses one request line; throws fpm::Error with a client-safe message
-/// on unknown commands, arity errors or malformed numbers.
-[[nodiscard]] Command parse_command(const std::string& line);
-
-/// Executes one request line against the engine (and its registry) and
-/// returns the single-line response — `OK ...`, or `ERR <message>` for
-/// any failure.  Never throws; QUIT answers `OK BYE` (hanging up is the
-/// transport's job).
-[[nodiscard]] std::string handle_line(RequestEngine& engine,
-                                      const std::string& line);
-
-/// Formats the `OK PARTITION ...` reply for a served response.
-[[nodiscard]] std::string format_partition_reply(const PartitionRequest& request,
-                                                 const PartitionResponse& response);
-
-/// A partition reply decoded on the client side.
+/// Payload of an `OK PARTITION` response.
 struct PartitionReply {
     std::string model;
     std::uint64_t generation = 0;
@@ -71,8 +65,79 @@ struct PartitionReply {
     std::vector<part::Rect> rects;  ///< empty when the layout was not requested
 };
 
-/// Decodes an `OK PARTITION ...` line; throws fpm::Error on `ERR`
-/// responses (carrying the server message) and on malformed replies.
+/// Payload of an `OK LOADED` response.
+struct LoadedReply {
+    std::string name;
+    std::uint64_t models = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t fingerprint = 0;
+};
+
+/// One registry entry in an `OK MODELS` response.
+struct ModelSetInfo {
+    std::string name;
+    std::uint64_t generation = 0;
+    std::uint64_t models = 0;
+};
+
+/// One `key=value` field of an `OK STATS` response, in wire order.  The
+/// value is pre-rendered (integers, or %.17g doubles) so the field list
+/// is closed under encode()/decode() round trips.
+struct StatField {
+    std::string name;
+    std::string value;
+};
+
+/// A response message: a tagged struct mirroring Request.  decode()
+/// never throws on `ERR` lines — they decode to kError — but throws
+/// fpm::Error on structurally malformed replies.
+struct Response {
+    enum class Kind { kError, kPong, kBye, kLoaded, kModels, kStats,
+                      kPartition };
+
+    Kind kind = Kind::kError;
+    std::string error;                 ///< kError
+    int version = kProtocolVersion;    ///< kPong
+    LoadedReply loaded;                ///< kLoaded
+    std::vector<ModelSetInfo> sets;    ///< kModels
+    std::vector<StatField> stats;      ///< kStats
+    PartitionReply partition;          ///< kPartition
+
+    [[nodiscard]] std::string encode() const;
+    [[nodiscard]] static Response decode(const std::string& line);
+
+    [[nodiscard]] static Response make_error(const std::string& message);
+};
+
+/// Builds the typed partition payload for a served response.
+[[nodiscard]] PartitionReply
+make_partition_reply(const PartitionRequest& request,
+                     const PartitionResponse& response);
+
+/// Builds the STATS response: engine counters, cache, per-algorithm
+/// latency quantiles, plus the reactor's gauges/counters and the
+/// queue-to-reply quantiles read from the process-global
+/// obs::MetricsRegistry (zero when no server ran yet).
+[[nodiscard]] Response make_stats_reply(const EngineStats& stats,
+                                        std::size_t model_count);
+
+/// Executes one decoded request against the engine (and its registry)
+/// and returns the typed response; never throws — failures become
+/// kError.  PARTITION runs synchronously on the calling thread; the
+/// reactor handles kPartition itself (asynchronously) and uses this for
+/// everything else.
+[[nodiscard]] Response handle_request(RequestEngine& engine,
+                                      const Request& request);
+
+/// Line-in/line-out convenience used by tests and in-process callers:
+/// decode, dispatch, encode.  Never throws; QUIT answers `OK BYE`
+/// (hanging up is the transport's job).
+[[nodiscard]] std::string handle_line(RequestEngine& engine,
+                                      const std::string& line);
+
+/// Decodes a reply expected to be `OK PARTITION ...`; throws fpm::Error
+/// on `ERR` responses (carrying the server message) and on malformed or
+/// differently-typed replies.
 [[nodiscard]] PartitionReply parse_partition_reply(const std::string& reply);
 
 } // namespace fpm::serve

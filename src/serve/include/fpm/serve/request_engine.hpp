@@ -17,10 +17,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "fpm/measure/stats.hpp"
 #include "fpm/obs/metrics.hpp"
@@ -83,6 +85,35 @@ public:
 
     /// Schedules execute() on the engine's thread pool.
     std::future<PartitionResponse> submit(const PartitionRequest& request);
+
+    /// Outcome of an asynchronous execution: exactly one of response
+    /// (when `error` is empty) or `error` (a client-safe message) is
+    /// meaningful.
+    struct AsyncResult {
+        PartitionResponse response;
+        std::string error;
+        [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+    };
+
+    /// Schedules execute() on the pool and invokes `done` with the
+    /// outcome from the worker thread — failures arrive as
+    /// AsyncResult::error instead of a thrown exception, so callers that
+    /// cannot rethrow across threads (the serve reactor's event loop)
+    /// get a complete result either way.  `done` must be callable after
+    /// the caller has gone away if the caller can be destroyed before
+    /// the engine drains (capture shared state by shared_ptr).
+    void submit_async(const PartitionRequest& request,
+                      std::function<void(AsyncResult)> done);
+
+    /// Cache-hit fast path: answers from the plan cache without touching
+    /// the thread pool, or returns nullopt when the request would need a
+    /// compute (cache miss, unknown model set, invalid n) — callers fall
+    /// back to submit_async() and the pool reports any error.  Counts
+    /// exactly like execute()'s hit path, so STATS cannot tell the two
+    /// apart.  The serve reactor probes this before paying the
+    /// worker-thread round trip.
+    [[nodiscard]] std::optional<PartitionResponse>
+    try_execute_cached(const PartitionRequest& request);
 
     [[nodiscard]] EngineStats stats() const;
 

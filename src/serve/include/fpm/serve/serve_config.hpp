@@ -1,0 +1,42 @@
+/// \file serve_config.hpp
+/// \brief The one typed knob set of the partition service transport.
+///
+/// Server (reactor), client and the fpmpart_serve tool all consume the
+/// same struct, so a deployment's transport behaviour is described in
+/// exactly one place: where the server binds, how many connections it
+/// admits, when it evicts idle peers, how long stop() drains, and the
+/// deadlines a client applies to connect and I/O.  Engine-side knobs
+/// (workers, cache capacity) stay on RequestEngine::Options — they size
+/// compute, not transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpm::serve {
+
+/// See file comment.  Durations are seconds; non-positive values disable
+/// the respective deadline.
+struct ServeConfig {
+    // -- listener -----------------------------------------------------
+    std::uint16_t port = 0;                 ///< 0 = ephemeral
+    std::string bind_address = "127.0.0.1";
+    int backlog = 64;
+
+    // -- reactor lifecycle --------------------------------------------
+    /// Admission control: connections beyond this are answered with a
+    /// one-line `ERR busy` and closed (counted in serve.reactor.rejected).
+    std::size_t max_connections = 256;
+    /// A connection with no read activity and nothing in flight for this
+    /// long is evicted by the reactor's timer wheel.  <= 0 disables.
+    double idle_timeout = 60.0;
+    /// stop() stops accepting, then flushes in-flight responses for at
+    /// most this long before force-closing the remaining connections.
+    double drain_deadline = 5.0;
+
+    // -- client deadlines ---------------------------------------------
+    double connect_timeout = 5.0;  ///< non-blocking connect + poll
+    double recv_timeout = 5.0;     ///< per send/recv (SO_RCVTIMEO/SNDTIMEO)
+};
+
+} // namespace fpm::serve

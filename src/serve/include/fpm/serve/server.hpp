@@ -1,49 +1,57 @@
 /// \file server.hpp
-/// \brief POSIX TCP server speaking the partition-service protocol.
+/// \brief Event-driven TCP server speaking the partition-service protocol.
 ///
-/// Listens on a loopback-bound (configurable) TCP port and serves each
-/// accepted connection on its own thread: the connection thread does the
-/// line I/O while the partition work itself runs through the
-/// RequestEngine's fpm::rt thread pool, which bounds compute
-/// concurrency.  Port 0 picks an ephemeral port; port() reports the
-/// bound one, which is how tests and the bench avoid collisions.
+/// One reactor thread owns every socket: an epoll loop over the
+/// non-blocking listener, an eventfd (RequestEngine completions and
+/// stop() wake-ups) and the per-connection sockets.  Connections carry
+/// read/write buffers and a response pipeline, so a client may send many
+/// request lines back-to-back; partition compute runs on the engine's
+/// thread pool and each completion is posted back to the loop, which
+/// writes responses strictly in request order.  Lifecycle management:
+///
+///  * admission control — accepts beyond ServeConfig::max_connections
+///    are answered `ERR busy` and closed (serve.reactor.rejected);
+///  * idle eviction — a timer wheel closes connections with no read
+///    activity and nothing in flight for ServeConfig::idle_timeout;
+///  * graceful drain — stop() stops accepting, flushes in-flight
+///    responses for at most ServeConfig::drain_deadline, then closes.
+///
+/// Cheap commands (PING, STATS, MODELS) run inline on the loop; LOAD
+/// also runs inline, so a slow model-CSV read briefly stalls the loop —
+/// acceptable for an administrative command.  Port 0 picks an ephemeral
+/// port; port() reports the bound one, which is how tests and the bench
+/// avoid collisions.  Every reactor event feeds `serve.reactor.*`
+/// metrics in the process-global obs registry, surfaced through STATS.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <set>
-#include <string>
+#include <memory>
 #include <thread>
-#include <vector>
 
 #include "fpm/serve/protocol.hpp"
+#include "fpm/serve/serve_config.hpp"
 
 namespace fpm::serve {
 
 /// See file comment.
 class SocketServer {
 public:
-    struct Options {
-        std::uint16_t port = 0;               ///< 0 = ephemeral
-        std::string bind_address = "127.0.0.1";
-        int backlog = 64;
-    };
-
     /// The engine (and its registry) must outlive the server.
-    SocketServer(RequestEngine& engine, Options options);
-    explicit SocketServer(RequestEngine& engine);  ///< default Options
+    SocketServer(RequestEngine& engine, ServeConfig config);
+    explicit SocketServer(RequestEngine& engine);  ///< default ServeConfig
     ~SocketServer();
 
     SocketServer(const SocketServer&) = delete;
     SocketServer& operator=(const SocketServer&) = delete;
 
-    /// Binds, listens and starts the accept loop; throws fpm::Error on
-    /// socket failures or if already started.
+    /// Binds, listens and starts the reactor thread; throws fpm::Error
+    /// on socket failures or if already started.
     void start();
 
-    /// Stops accepting, shuts every open connection down and joins all
-    /// threads.  Idempotent.
+    /// Graceful drain: stops accepting, lets in-flight requests finish
+    /// and their responses flush (up to ServeConfig::drain_deadline),
+    /// closes everything and joins the reactor thread.  Idempotent.
     void stop();
 
     /// Bound port (valid after start()).
@@ -51,29 +59,31 @@ public:
 
     [[nodiscard]] bool running() const noexcept { return running_.load(); }
 
-    /// Total connections accepted so far.
+    /// Total connections accepted so far (admission rejects excluded).
     [[nodiscard]] std::size_t connections_accepted() const noexcept {
-        return connections_.load();
+        return accepted_.load();
+    }
+
+    /// Currently open connections.
+    [[nodiscard]] std::size_t open_connections() const noexcept {
+        return open_.load();
+    }
+
+    [[nodiscard]] const ServeConfig& config() const noexcept {
+        return config_;
     }
 
 private:
-    void accept_loop();
-    void serve_connection(int fd);
-    void track_fd(int fd);
-    void untrack_fd(int fd);
+    struct Reactor;  ///< the loop's state; lives only while running
 
     RequestEngine& engine_;
-    Options options_;
-    /// Atomic: stop() closes and clears it while accept_loop() reads it.
-    std::atomic<int> listen_fd_{-1};
+    ServeConfig config_;
     std::uint16_t port_ = 0;
     std::atomic<bool> running_{false};
-    std::atomic<bool> stopping_{false};
-    std::atomic<std::size_t> connections_{0};
-    std::thread accept_thread_;
-    std::mutex conn_mutex_;
-    std::vector<std::thread> conn_threads_;
-    std::set<int> open_fds_;
+    std::atomic<std::size_t> accepted_{0};
+    std::atomic<std::size_t> open_{0};
+    std::unique_ptr<Reactor> reactor_;
+    std::thread loop_thread_;
 };
 
 } // namespace fpm::serve

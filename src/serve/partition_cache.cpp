@@ -20,6 +20,18 @@ std::shared_ptr<const PartitionPlan> PartitionCache::get(const PlanKey& key) {
     return it->second->plan;
 }
 
+std::shared_ptr<const PartitionPlan>
+PartitionCache::probe(const PlanKey& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        return nullptr;  // not counted: the caller retries via get()
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+}
+
 void PartitionCache::put(const PlanKey& key,
                          std::shared_ptr<const PartitionPlan> plan) {
     FPM_CHECK(plan != nullptr, "cannot cache a null plan");

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "fpm/common/error.hpp"
+#include "fpm/serve/reactor_metrics.hpp"
 
 namespace fpm::serve {
 
@@ -31,6 +32,15 @@ std::int64_t parse_int(const std::string& text, const char* what) {
     return static_cast<std::int64_t>(value);
 }
 
+std::uint64_t parse_hex64(const std::string& text, const char* what) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 16);
+    FPM_CHECK(end != text.c_str() && *end == '\0' && errno == 0,
+              std::string("malformed ") + what + ": " + text);
+    return static_cast<std::uint64_t>(value);
+}
+
 double parse_double(const std::string& text, const char* what) {
     errno = 0;
     char* end = nullptr;
@@ -44,6 +54,12 @@ double parse_double(const std::string& text, const char* what) {
 std::string format_double(double value) {
     char buffer[64];
     std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string format_hex64(std::uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%016" PRIx64, value);
     return buffer;
 }
 
@@ -76,207 +92,408 @@ std::vector<std::string> split(const std::string& text, char sep) {
     return parts;
 }
 
+void append_histogram_us(std::vector<StatField>& fields,
+                         const std::string& prefix,
+                         const obs::HistogramSnapshot& histogram) {
+    fields.push_back({prefix + "_p50_us", format_double(histogram.p50 * 1e6)});
+    fields.push_back({prefix + "_p95_us", format_double(histogram.p95 * 1e6)});
+    fields.push_back({prefix + "_p99_us", format_double(histogram.p99 * 1e6)});
+}
+
 } // namespace
 
-Command parse_command(const std::string& line) {
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+std::string Request::encode() const {
+    switch (kind) {
+    case Kind::kPing:
+        return "PING";
+    case Kind::kQuit:
+        return "QUIT";
+    case Kind::kStats:
+        return "STATS";
+    case Kind::kModels:
+        return "MODELS";
+    case Kind::kLoad:
+        return "LOAD " + name + " " + path;
+    case Kind::kPartition: {
+        std::ostringstream out;
+        out << "PARTITION " << partition.model_set << ' ' << partition.n
+            << ' ' << part::to_string(partition.algorithm);
+        if (!partition.with_layout) {
+            out << " nolayout";
+        }
+        return out.str();
+    }
+    }
+    throw Error("unencodable request");
+}
+
+Request Request::decode(const std::string& line) {
     const auto tokens = tokenize(line);
     FPM_CHECK(!tokens.empty(), "empty request");
     const std::string& verb = tokens[0];
 
-    Command command;
+    Request request;
     if (verb == "PING") {
         FPM_CHECK(tokens.size() == 1, "PING takes no arguments");
-        command.kind = Command::Kind::kPing;
+        request.kind = Kind::kPing;
     } else if (verb == "QUIT") {
         FPM_CHECK(tokens.size() == 1, "QUIT takes no arguments");
-        command.kind = Command::Kind::kQuit;
+        request.kind = Kind::kQuit;
     } else if (verb == "STATS") {
         FPM_CHECK(tokens.size() == 1, "STATS takes no arguments");
-        command.kind = Command::Kind::kStats;
+        request.kind = Kind::kStats;
     } else if (verb == "MODELS") {
         FPM_CHECK(tokens.size() == 1, "MODELS takes no arguments");
-        command.kind = Command::Kind::kModels;
+        request.kind = Kind::kModels;
     } else if (verb == "LOAD") {
         FPM_CHECK(tokens.size() == 3, "usage: LOAD <name> <path>");
-        command.kind = Command::Kind::kLoad;
-        command.name = tokens[1];
-        command.path = tokens[2];
+        request.kind = Kind::kLoad;
+        request.name = tokens[1];
+        request.path = tokens[2];
     } else if (verb == "PARTITION") {
         FPM_CHECK(tokens.size() == 4 || tokens.size() == 5,
                   "usage: PARTITION <model> <n> <fpm|cpm|even> [nolayout]");
-        command.kind = Command::Kind::kPartition;
-        command.partition.model_set = tokens[1];
-        command.partition.n = parse_int(tokens[2], "workload size");
-        FPM_CHECK(command.partition.n > 0, "workload size must be positive");
+        request.kind = Kind::kPartition;
+        request.partition.model_set = tokens[1];
+        request.partition.n = parse_int(tokens[2], "workload size");
+        FPM_CHECK(request.partition.n > 0, "workload size must be positive");
         const auto algorithm = part::parse_algorithm(tokens[3]);
         FPM_CHECK(algorithm.has_value(), "unknown algorithm: " + tokens[3]);
-        command.partition.algorithm = *algorithm;
+        request.partition.algorithm = *algorithm;
         if (tokens.size() == 5) {
             FPM_CHECK(tokens[4] == "nolayout",
                       "unknown PARTITION option: " + tokens[4]);
-            command.partition.with_layout = false;
+            request.partition.with_layout = false;
         }
     } else {
         throw Error("unknown command: " + verb);
     }
-    return command;
+    return request;
 }
 
-std::string format_partition_reply(const PartitionRequest& request,
-                                   const PartitionResponse& response) {
-    const PartitionPlan& plan = *response.plan;
-    std::ostringstream out;
-    out << "OK PARTITION model=" << request.model_set
-        << " gen=" << plan.generation << " n=" << plan.key.n
-        << " algo=" << part::to_string(plan.key.algorithm)
-        << " cached=" << (response.cache_hit ? 1 : 0)
-        << " coalesced=" << (response.coalesced ? 1 : 0)
-        << " balanced=" << format_double(plan.balanced_time)
-        << " makespan=" << format_double(plan.makespan)
-        << " comm=" << plan.comm_cost << " blocks=";
-    for (std::size_t i = 0; i < plan.blocks.size(); ++i) {
-        if (i > 0) {
-            out << ',';
-        }
-        out << plan.blocks[i];
+// ---------------------------------------------------------------------------
+// Response
+// ---------------------------------------------------------------------------
+
+Response Response::make_error(const std::string& message) {
+    Response response;
+    response.kind = Kind::kError;
+    response.error = sanitize(message);
+    return response;
+}
+
+std::string Response::encode() const {
+    switch (kind) {
+    case Kind::kError:
+        return "ERR " + sanitize(error);
+    case Kind::kPong:
+        return "OK PONG v" + std::to_string(version);
+    case Kind::kBye:
+        return "OK BYE";
+    case Kind::kLoaded: {
+        std::ostringstream out;
+        out << "OK LOADED name=" << loaded.name << " models=" << loaded.models
+            << " gen=" << loaded.generation
+            << " fingerprint=" << format_hex64(loaded.fingerprint);
+        return out.str();
     }
-    out << " layout=";
-    if (!plan.key.with_layout) {
-        out << '-';
-    } else {
-        for (std::size_t i = 0; i < plan.layout.rects.size(); ++i) {
-            const auto& rect = plan.layout.rects[i];
+    case Kind::kModels: {
+        std::ostringstream out;
+        out << "OK MODELS count=" << sets.size() << " sets=";
+        if (sets.empty()) {
+            out << '-';
+        }
+        for (std::size_t i = 0; i < sets.size(); ++i) {
             if (i > 0) {
-                out << '|';
+                out << ',';
             }
-            out << rect.col0 << ':' << rect.row0 << ':' << rect.w << ':'
-                << rect.h;
+            out << sets[i].name << ':' << sets[i].generation << ':'
+                << sets[i].models;
         }
+        return out.str();
     }
-    return out.str();
+    case Kind::kStats: {
+        std::ostringstream out;
+        out << "OK STATS";
+        for (const StatField& field : stats) {
+            out << ' ' << field.name << '=' << field.value;
+        }
+        return out.str();
+    }
+    case Kind::kPartition: {
+        std::ostringstream out;
+        out << "OK PARTITION model=" << partition.model
+            << " gen=" << partition.generation << " n=" << partition.n
+            << " algo=" << part::to_string(partition.algorithm)
+            << " cached=" << (partition.cached ? 1 : 0)
+            << " coalesced=" << (partition.coalesced ? 1 : 0)
+            << " balanced=" << format_double(partition.balanced_time)
+            << " makespan=" << format_double(partition.makespan)
+            << " comm=" << partition.comm_cost << " blocks=";
+        for (std::size_t i = 0; i < partition.blocks.size(); ++i) {
+            if (i > 0) {
+                out << ',';
+            }
+            out << partition.blocks[i];
+        }
+        out << " layout=";
+        if (partition.rects.empty()) {
+            out << '-';
+        } else {
+            for (std::size_t i = 0; i < partition.rects.size(); ++i) {
+                const auto& rect = partition.rects[i];
+                if (i > 0) {
+                    out << '|';
+                }
+                out << rect.col0 << ':' << rect.row0 << ':' << rect.w << ':'
+                    << rect.h;
+            }
+        }
+        return out.str();
+    }
+    }
+    throw Error("unencodable response");
 }
 
-PartitionReply parse_partition_reply(const std::string& reply) {
-    if (reply.rfind("ERR", 0) == 0) {
-        throw Error("server error: " +
-                    (reply.size() > 4 ? reply.substr(4) : std::string{}));
+Response Response::decode(const std::string& line) {
+    Response response;
+    if (line.rfind("ERR", 0) == 0) {
+        response.kind = Kind::kError;
+        response.error = line.size() > 4 ? line.substr(4) : std::string{};
+        return response;
     }
-    const auto tokens = tokenize(reply);
-    FPM_CHECK(tokens.size() == 13 && tokens[0] == "OK" &&
-                  tokens[1] == "PARTITION",
-              "malformed partition reply: " + reply);
+    const auto tokens = tokenize(line);
+    FPM_CHECK(tokens.size() >= 2 && tokens[0] == "OK",
+              "malformed response: " + line);
+    const std::string& tag = tokens[1];
 
-    PartitionReply parsed;
-    parsed.model = expect_kv(tokens[2], "model");
-    parsed.generation = static_cast<std::uint64_t>(
-        parse_int(expect_kv(tokens[3], "gen"), "generation"));
-    parsed.n = parse_int(expect_kv(tokens[4], "n"), "n");
-    const auto algorithm = part::parse_algorithm(expect_kv(tokens[5], "algo"));
-    FPM_CHECK(algorithm.has_value(), "malformed algorithm in reply: " + reply);
-    parsed.algorithm = *algorithm;
-    parsed.cached = parse_int(expect_kv(tokens[6], "cached"), "cached") != 0;
-    parsed.coalesced =
-        parse_int(expect_kv(tokens[7], "coalesced"), "coalesced") != 0;
-    parsed.balanced_time =
-        parse_double(expect_kv(tokens[8], "balanced"), "balanced time");
-    parsed.makespan = parse_double(expect_kv(tokens[9], "makespan"), "makespan");
-    parsed.comm_cost = parse_int(expect_kv(tokens[10], "comm"), "comm cost");
-
-    for (const auto& cell : split(expect_kv(tokens[11], "blocks"), ',')) {
-        parsed.blocks.push_back(parse_int(cell, "block count"));
-    }
-    const std::string layout_text = expect_kv(tokens[12], "layout");
-    if (layout_text != "-") {
-        for (const auto& rect_text : split(layout_text, '|')) {
-            const auto fields = split(rect_text, ':');
-            FPM_CHECK(fields.size() == 4, "malformed rect: " + rect_text);
-            part::Rect rect;
-            rect.col0 = parse_int(fields[0], "rect col0");
-            rect.row0 = parse_int(fields[1], "rect row0");
-            rect.w = parse_int(fields[2], "rect w");
-            rect.h = parse_int(fields[3], "rect h");
-            parsed.rects.push_back(rect);
+    if (tag == "PONG") {
+        FPM_CHECK(tokens.size() == 3 && tokens[2].size() > 1 &&
+                      tokens[2][0] == 'v',
+                  "malformed PONG reply: " + line);
+        response.kind = Kind::kPong;
+        response.version = static_cast<int>(
+            parse_int(tokens[2].substr(1), "protocol version"));
+    } else if (tag == "BYE") {
+        FPM_CHECK(tokens.size() == 2, "malformed BYE reply: " + line);
+        response.kind = Kind::kBye;
+    } else if (tag == "LOADED") {
+        FPM_CHECK(tokens.size() == 6, "malformed LOADED reply: " + line);
+        response.kind = Kind::kLoaded;
+        response.loaded.name = expect_kv(tokens[2], "name");
+        response.loaded.models = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[3], "models"), "model count"));
+        response.loaded.generation = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[4], "gen"), "generation"));
+        response.loaded.fingerprint =
+            parse_hex64(expect_kv(tokens[5], "fingerprint"), "fingerprint");
+    } else if (tag == "MODELS") {
+        FPM_CHECK(tokens.size() == 4, "malformed MODELS reply: " + line);
+        response.kind = Kind::kModels;
+        const std::uint64_t count = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[2], "count"), "set count"));
+        const std::string sets_text = expect_kv(tokens[3], "sets");
+        if (sets_text != "-") {
+            for (const auto& entry : split(sets_text, ',')) {
+                const auto fields = split(entry, ':');
+                FPM_CHECK(fields.size() == 3,
+                          "malformed model-set entry: " + entry);
+                ModelSetInfo info;
+                info.name = fields[0];
+                info.generation = static_cast<std::uint64_t>(
+                    parse_int(fields[1], "generation"));
+                info.models = static_cast<std::uint64_t>(
+                    parse_int(fields[2], "model count"));
+                response.sets.push_back(std::move(info));
+            }
         }
+        FPM_CHECK(response.sets.size() == count,
+                  "MODELS count disagrees with its set list: " + line);
+    } else if (tag == "STATS") {
+        response.kind = Kind::kStats;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+            const auto eq = tokens[i].find('=');
+            FPM_CHECK(eq != std::string::npos && eq > 0,
+                      "malformed STATS field: " + tokens[i]);
+            response.stats.push_back(
+                {tokens[i].substr(0, eq), tokens[i].substr(eq + 1)});
+        }
+    } else if (tag == "PARTITION") {
+        FPM_CHECK(tokens.size() == 13, "malformed partition reply: " + line);
+        response.kind = Kind::kPartition;
+        PartitionReply& parsed = response.partition;
+        parsed.model = expect_kv(tokens[2], "model");
+        parsed.generation = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[3], "gen"), "generation"));
+        parsed.n = parse_int(expect_kv(tokens[4], "n"), "n");
+        const auto algorithm =
+            part::parse_algorithm(expect_kv(tokens[5], "algo"));
+        FPM_CHECK(algorithm.has_value(),
+                  "malformed algorithm in reply: " + line);
+        parsed.algorithm = *algorithm;
+        parsed.cached =
+            parse_int(expect_kv(tokens[6], "cached"), "cached") != 0;
+        parsed.coalesced =
+            parse_int(expect_kv(tokens[7], "coalesced"), "coalesced") != 0;
+        parsed.balanced_time =
+            parse_double(expect_kv(tokens[8], "balanced"), "balanced time");
+        parsed.makespan =
+            parse_double(expect_kv(tokens[9], "makespan"), "makespan");
+        parsed.comm_cost = parse_int(expect_kv(tokens[10], "comm"), "comm cost");
+        for (const auto& cell : split(expect_kv(tokens[11], "blocks"), ',')) {
+            parsed.blocks.push_back(parse_int(cell, "block count"));
+        }
+        const std::string layout_text = expect_kv(tokens[12], "layout");
+        if (layout_text != "-") {
+            for (const auto& rect_text : split(layout_text, '|')) {
+                const auto fields = split(rect_text, ':');
+                FPM_CHECK(fields.size() == 4, "malformed rect: " + rect_text);
+                part::Rect rect;
+                rect.col0 = parse_int(fields[0], "rect col0");
+                rect.row0 = parse_int(fields[1], "rect row0");
+                rect.w = parse_int(fields[2], "rect w");
+                rect.h = parse_int(fields[3], "rect h");
+                parsed.rects.push_back(rect);
+            }
+        }
+    } else {
+        throw Error("unknown response tag: " + tag);
     }
-    return parsed;
+    return response;
+}
+
+// ---------------------------------------------------------------------------
+// Builders and dispatch
+// ---------------------------------------------------------------------------
+
+PartitionReply make_partition_reply(const PartitionRequest& request,
+                                    const PartitionResponse& response) {
+    const PartitionPlan& plan = *response.plan;
+    PartitionReply reply;
+    reply.model = request.model_set;
+    reply.generation = plan.generation;
+    reply.n = plan.key.n;
+    reply.algorithm = plan.key.algorithm;
+    reply.cached = response.cache_hit;
+    reply.coalesced = response.coalesced;
+    reply.balanced_time = plan.balanced_time;
+    reply.makespan = plan.makespan;
+    reply.comm_cost = plan.comm_cost;
+    reply.blocks = plan.blocks;
+    if (plan.key.with_layout) {
+        reply.rects = plan.layout.rects;
+    }
+    return reply;
+}
+
+Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
+    Response response;
+    response.kind = Response::Kind::kStats;
+    auto& fields = response.stats;
+    fields.push_back({"requests", std::to_string(stats.requests)});
+    fields.push_back({"computed", std::to_string(stats.computed)});
+    fields.push_back({"coalesced", std::to_string(stats.coalesced)});
+    fields.push_back({"hits", std::to_string(stats.cache.hits)});
+    fields.push_back({"misses", std::to_string(stats.cache.misses)});
+    fields.push_back({"evictions", std::to_string(stats.cache.evictions)});
+    fields.push_back({"cache_size", std::to_string(stats.cache.size)});
+    fields.push_back({"models", std::to_string(model_count)});
+    fields.push_back(
+        {"mean_latency_us", format_double(stats.latency.mean * 1e6)});
+    fields.push_back(
+        {"max_latency_us", format_double(stats.latency.max * 1e6)});
+    for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+        const auto& histogram = stats.latency_by_algorithm[i];
+        const std::string algo = part::to_string(static_cast<Algorithm>(i));
+        fields.push_back({algo + "_count", std::to_string(histogram.count)});
+        append_histogram_us(fields, algo, histogram);
+    }
+
+    // Reactor lifecycle: process-global, so STATS works identically over
+    // the wire and in-process (all-zero until a server has run).
+    const ReactorMetrics& reactor = ReactorMetrics::get();
+    fields.push_back(
+        {"open_conns", std::to_string(reactor.open_connections.value())});
+    fields.push_back(
+        {"buffered_bytes", std::to_string(reactor.buffered_bytes.value())});
+    fields.push_back({"accepted", std::to_string(reactor.accepted.value())});
+    fields.push_back({"rejected", std::to_string(reactor.rejected.value())});
+    fields.push_back(
+        {"idle_timeouts", std::to_string(reactor.idle_timeouts.value())});
+    fields.push_back(
+        {"send_failures", std::to_string(reactor.send_failures.value())});
+    fields.push_back({"pipelined", std::to_string(reactor.pipelined.value())});
+    fields.push_back({"pipeline_depth_max",
+                      std::to_string(reactor.pipeline_depth.max())});
+    append_histogram_us(fields, "q2r",
+                        reactor.queue_to_reply_seconds.snapshot());
+    return response;
+}
+
+Response handle_request(RequestEngine& engine, const Request& request) {
+    try {
+        Response response;
+        switch (request.kind) {
+        case Request::Kind::kPing:
+            response.kind = Response::Kind::kPong;
+            response.version = kProtocolVersion;
+            return response;
+        case Request::Kind::kQuit:
+            response.kind = Response::Kind::kBye;
+            return response;
+        case Request::Kind::kLoad: {
+            const auto set =
+                engine.registry().load_csv(request.name, request.path);
+            response.kind = Response::Kind::kLoaded;
+            response.loaded.name = set->name;
+            response.loaded.models = set->models.size();
+            response.loaded.generation = set->generation;
+            response.loaded.fingerprint = set->fingerprint;
+            return response;
+        }
+        case Request::Kind::kModels: {
+            response.kind = Response::Kind::kModels;
+            for (const auto& set : engine.registry().snapshot()) {
+                response.sets.push_back(ModelSetInfo{
+                    set->name, set->generation, set->models.size()});
+            }
+            return response;
+        }
+        case Request::Kind::kStats:
+            return make_stats_reply(engine.stats(), engine.registry().size());
+        case Request::Kind::kPartition: {
+            const PartitionResponse served = engine.execute(request.partition);
+            response.kind = Response::Kind::kPartition;
+            response.partition = make_partition_reply(request.partition, served);
+            return response;
+        }
+        }
+        return Response::make_error("unreachable");
+    } catch (const std::exception& e) {
+        return Response::make_error(e.what());
+    }
 }
 
 std::string handle_line(RequestEngine& engine, const std::string& line) {
     try {
-        const Command command = parse_command(line);
-        switch (command.kind) {
-        case Command::Kind::kPing:
-            return "OK PONG v" + std::to_string(kProtocolVersion);
-        case Command::Kind::kQuit:
-            return "OK BYE";
-        case Command::Kind::kLoad: {
-            const auto set =
-                engine.registry().load_csv(command.name, command.path);
-            std::ostringstream out;
-            char fingerprint[32];
-            std::snprintf(fingerprint, sizeof fingerprint, "%016" PRIx64,
-                          set->fingerprint);
-            out << "OK LOADED name=" << set->name
-                << " models=" << set->models.size()
-                << " gen=" << set->generation
-                << " fingerprint=" << fingerprint;
-            return out.str();
-        }
-        case Command::Kind::kModels: {
-            const auto sets = engine.registry().snapshot();
-            std::ostringstream out;
-            out << "OK MODELS count=" << sets.size() << " sets=";
-            if (sets.empty()) {
-                out << '-';
-            }
-            for (std::size_t i = 0; i < sets.size(); ++i) {
-                if (i > 0) {
-                    out << ',';
-                }
-                out << sets[i]->name << ':' << sets[i]->generation << ':'
-                    << sets[i]->models.size();
-            }
-            return out.str();
-        }
-        case Command::Kind::kStats: {
-            const EngineStats stats = engine.stats();
-            std::ostringstream out;
-            out << "OK STATS requests=" << stats.requests
-                << " computed=" << stats.computed
-                << " coalesced=" << stats.coalesced
-                << " hits=" << stats.cache.hits
-                << " misses=" << stats.cache.misses
-                << " evictions=" << stats.cache.evictions
-                << " cache_size=" << stats.cache.size
-                << " models=" << engine.registry().size()
-                << " mean_latency_us="
-                << format_double(stats.latency.mean * 1e6)
-                << " max_latency_us="
-                << format_double(stats.latency.max * 1e6);
-            for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
-                const auto& h = stats.latency_by_algorithm[i];
-                const char* algo =
-                    part::to_string(static_cast<Algorithm>(i));
-                out << ' ' << algo << "_count=" << h.count
-                    << ' ' << algo
-                    << "_p50_us=" << format_double(h.p50 * 1e6)
-                    << ' ' << algo
-                    << "_p95_us=" << format_double(h.p95 * 1e6)
-                    << ' ' << algo
-                    << "_p99_us=" << format_double(h.p99 * 1e6);
-            }
-            return out.str();
-        }
-        case Command::Kind::kPartition: {
-            const PartitionResponse response =
-                engine.execute(command.partition);
-            return format_partition_reply(command.partition, response);
-        }
-        }
-        return "ERR unreachable";
+        return handle_request(engine, Request::decode(line)).encode();
     } catch (const std::exception& e) {
-        return "ERR " + sanitize(e.what());
+        return Response::make_error(e.what()).encode();
     }
+}
+
+PartitionReply parse_partition_reply(const std::string& reply) {
+    const Response response = Response::decode(reply);
+    if (response.kind == Response::Kind::kError) {
+        throw Error("server error: " + response.error);
+    }
+    FPM_CHECK(response.kind == Response::Kind::kPartition,
+              "malformed partition reply: " + reply);
+    return response.partition;
 }
 
 } // namespace fpm::serve

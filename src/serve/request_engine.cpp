@@ -149,6 +149,57 @@ RequestEngine::submit(const PartitionRequest& request) {
     return pool_.submit([this, request]() { return execute(request); });
 }
 
+std::optional<PartitionResponse>
+RequestEngine::try_execute_cached(const PartitionRequest& request) {
+    if (request.n <= 0) {
+        return std::nullopt;  // execute() owns the error report
+    }
+    measure::WallTimer timer;
+    std::shared_ptr<const ModelSet> set;
+    try {
+        set = registry_.get(request.model_set);
+    } catch (...) {
+        return std::nullopt;  // unknown set: same
+    }
+    const PlanKey key{set->fingerprint, request.n, request.algorithm,
+                      request.with_layout};
+    std::shared_ptr<const PartitionPlan> plan;
+    {
+        std::lock_guard lock(inflight_mutex_);
+        plan = cache_.probe(key);  // a miss here is not a counted lookup
+    }
+    if (!plan) {
+        return std::nullopt;
+    }
+    const ServeMetrics& metrics = ServeMetrics::get();
+    metrics.requests.add();
+    metrics.cache_hits.add();
+    {
+        std::lock_guard lock(stats_mutex_);
+        ++requests_;
+    }
+    return finish(timer.elapsed(), request.algorithm, std::move(plan), true,
+                  false);
+}
+
+void RequestEngine::submit_async(const PartitionRequest& request,
+                                 std::function<void(AsyncResult)> done) {
+    (void)pool_.submit([this, request, done = std::move(done)]() {
+        AsyncResult result;
+        try {
+            result.response = execute(request);
+        } catch (const std::exception& e) {
+            result.error = e.what();
+            if (result.error.empty()) {
+                result.error = "partition failed";
+            }
+        } catch (...) {
+            result.error = "partition failed";
+        }
+        done(std::move(result));
+    });
+}
+
 EngineStats RequestEngine::stats() const {
     EngineStats stats;
     {

@@ -161,34 +161,88 @@ TEST(Protocol, AlgorithmNamesRoundTrip) {
     EXPECT_EQ(part::parse_algorithm("nope"), std::nullopt);
 }
 
-TEST(Protocol, ParseCommand) {
-    EXPECT_EQ(parse_command("PING").kind, Command::Kind::kPing);
-    EXPECT_EQ(parse_command("QUIT").kind, Command::Kind::kQuit);
-    EXPECT_EQ(parse_command("STATS").kind, Command::Kind::kStats);
-    EXPECT_EQ(parse_command("MODELS").kind, Command::Kind::kModels);
+TEST(Protocol, DecodeRequest) {
+    EXPECT_EQ(Request::decode("PING").kind, Request::Kind::kPing);
+    EXPECT_EQ(Request::decode("QUIT").kind, Request::Kind::kQuit);
+    EXPECT_EQ(Request::decode("STATS").kind, Request::Kind::kStats);
+    EXPECT_EQ(Request::decode("MODELS").kind, Request::Kind::kModels);
 
-    const Command load = parse_command("LOAD hybrid /tmp/m.csv");
-    EXPECT_EQ(load.kind, Command::Kind::kLoad);
+    const Request load = Request::decode("LOAD hybrid /tmp/m.csv");
+    EXPECT_EQ(load.kind, Request::Kind::kLoad);
     EXPECT_EQ(load.name, "hybrid");
     EXPECT_EQ(load.path, "/tmp/m.csv");
 
-    const Command p = parse_command("PARTITION hybrid 60 cpm nolayout");
-    EXPECT_EQ(p.kind, Command::Kind::kPartition);
+    const Request p = Request::decode("PARTITION hybrid 60 cpm nolayout");
+    EXPECT_EQ(p.kind, Request::Kind::kPartition);
     EXPECT_EQ(p.partition.model_set, "hybrid");
     EXPECT_EQ(p.partition.n, 60);
     EXPECT_EQ(p.partition.algorithm, Algorithm::kCpm);
     EXPECT_FALSE(p.partition.with_layout);
 
-    EXPECT_THROW(parse_command(""), fpm::Error);
-    EXPECT_THROW(parse_command("FROB"), fpm::Error);
-    EXPECT_THROW(parse_command("PING extra"), fpm::Error);
-    EXPECT_THROW(parse_command("LOAD onlyname"), fpm::Error);
-    EXPECT_THROW(parse_command("PARTITION hybrid"), fpm::Error);
-    EXPECT_THROW(parse_command("PARTITION hybrid abc fpm"), fpm::Error);
-    EXPECT_THROW(parse_command("PARTITION hybrid 60x fpm"), fpm::Error);
-    EXPECT_THROW(parse_command("PARTITION hybrid -5 fpm"), fpm::Error);
-    EXPECT_THROW(parse_command("PARTITION hybrid 60 magic"), fpm::Error);
-    EXPECT_THROW(parse_command("PARTITION hybrid 60 fpm wat"), fpm::Error);
+    EXPECT_THROW(Request::decode(""), fpm::Error);
+    EXPECT_THROW(Request::decode("FROB"), fpm::Error);
+    EXPECT_THROW(Request::decode("PING extra"), fpm::Error);
+    EXPECT_THROW(Request::decode("LOAD onlyname"), fpm::Error);
+    EXPECT_THROW(Request::decode("PARTITION hybrid"), fpm::Error);
+    EXPECT_THROW(Request::decode("PARTITION hybrid abc fpm"), fpm::Error);
+    EXPECT_THROW(Request::decode("PARTITION hybrid 60x fpm"), fpm::Error);
+    EXPECT_THROW(Request::decode("PARTITION hybrid -5 fpm"), fpm::Error);
+    EXPECT_THROW(Request::decode("PARTITION hybrid 60 magic"), fpm::Error);
+    EXPECT_THROW(Request::decode("PARTITION hybrid 60 fpm wat"), fpm::Error);
+}
+
+TEST(Protocol, RequestEncodeDecodeRoundTrip) {
+    const char* lines[] = {"PING", "QUIT", "STATS", "MODELS",
+                           "LOAD hybrid /tmp/m.csv",
+                           "PARTITION hybrid 60 cpm nolayout",
+                           "PARTITION hybrid 48 fpm"};
+    for (const char* line : lines) {
+        const Request request = Request::decode(line);
+        EXPECT_EQ(request.encode(), line);
+        // decode(encode()) is the identity on kinds.
+        EXPECT_EQ(Request::decode(request.encode()).kind, request.kind);
+    }
+}
+
+TEST(Protocol, ResponseEncodeDecodeRoundTrip) {
+    {
+        const Response error = Response::make_error("it\nbroke");
+        EXPECT_EQ(error.encode(), "ERR it broke");  // newline sanitized
+        const Response decoded = Response::decode(error.encode());
+        EXPECT_EQ(decoded.kind, Response::Kind::kError);
+        EXPECT_EQ(decoded.error, "it broke");
+    }
+    {
+        Response pong;
+        pong.kind = Response::Kind::kPong;
+        pong.version = kProtocolVersion;
+        const Response decoded = Response::decode(pong.encode());
+        EXPECT_EQ(decoded.kind, Response::Kind::kPong);
+        EXPECT_EQ(decoded.version, kProtocolVersion);
+    }
+    {
+        Response loaded;
+        loaded.kind = Response::Kind::kLoaded;
+        loaded.loaded = LoadedReply{"hybrid", 3, 7, 0xdeadbeefcafef00dULL};
+        const Response decoded = Response::decode(loaded.encode());
+        EXPECT_EQ(decoded.kind, Response::Kind::kLoaded);
+        EXPECT_EQ(decoded.loaded.name, "hybrid");
+        EXPECT_EQ(decoded.loaded.models, 3U);
+        EXPECT_EQ(decoded.loaded.generation, 7U);
+        EXPECT_EQ(decoded.loaded.fingerprint, 0xdeadbeefcafef00dULL);
+    }
+    {
+        Response models;
+        models.kind = Response::Kind::kModels;
+        models.sets = {ModelSetInfo{"a", 1, 2}, ModelSetInfo{"b", 3, 4}};
+        const Response decoded = Response::decode(models.encode());
+        ASSERT_EQ(decoded.sets.size(), 2U);
+        EXPECT_EQ(decoded.sets[1].name, "b");
+        EXPECT_EQ(decoded.sets[1].generation, 3U);
+        EXPECT_EQ(decoded.sets[1].models, 4U);
+    }
+    EXPECT_THROW(Response::decode("OK WAT"), fpm::Error);
+    EXPECT_THROW(Response::decode("nope"), fpm::Error);
 }
 
 TEST(Protocol, HandleLineBasics) {
@@ -196,7 +250,8 @@ TEST(Protocol, HandleLineBasics) {
     registry.put("tiny", synthetic_models(2, 8, 1.0));
     RequestEngine engine(registry, {.workers = 2, .cache_capacity = 8});
 
-    EXPECT_EQ(handle_line(engine, "PING"), "OK PONG v2");
+    EXPECT_EQ(handle_line(engine, "PING"),
+              "OK PONG v" + std::to_string(kProtocolVersion));
     EXPECT_EQ(handle_line(engine, "QUIT"), "OK BYE");
     EXPECT_EQ(handle_line(engine, "BOGUS").rfind("ERR ", 0), 0U);
     EXPECT_EQ(handle_line(engine, "PARTITION missing 10 fpm").rfind("ERR ", 0),
@@ -518,10 +573,10 @@ std::pair<int, std::uint16_t> loopback_listener() {
 TEST(ServeClientTest, RecvTimeoutOnServerThatAcceptsButNeverReplies) {
     const auto [fd, port] = loopback_listener();
 
-    ServeClient::Options options;
-    options.connect_timeout = 2.0;
-    options.recv_timeout = 0.2;
-    ServeClient client("127.0.0.1", port, options);  // lands in the backlog
+    ServeConfig config;
+    config.connect_timeout = 2.0;
+    config.recv_timeout = 0.2;
+    ServeClient client("127.0.0.1", port, config);  // lands in the backlog
 
     measure::WallTimer timer;
     try {

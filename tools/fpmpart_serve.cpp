@@ -2,22 +2,25 @@
 //
 // Loads one or more model CSVs (built by fpmpart_model) into the
 // fpm::serve model registry and answers the line protocol on a loopback
-// TCP port:
+// TCP port with a single-threaded epoll reactor (pipelined requests,
+// admission control, idle eviction):
 //
 //   PING                                    liveness probe
 //   LOAD <name> <path>                      hot-(re)load a model set
 //   PARTITION <model> <n> <algo> [nolayout] partition an n x n workload
-//   MODELS / STATS                          registry and cache counters
+//   MODELS / STATS                          registry, cache and reactor counters
 //   QUIT                                    close this connection
 //
 // Usage:
 //   fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]
 //                 [--port P] [--bind ADDR] [--threads N] [--cache N]
+//                 [--max-conns N] [--idle-timeout SECONDS]
 //                 [--trace FILE]
 //
 // Port 0 (the default) picks an ephemeral port; the bound port is
 // printed on startup.  The process serves until stdin reaches EOF
-// (Ctrl-D) so it composes with shells, tests and process supervisors.
+// (Ctrl-D) so it composes with shells, tests and process supervisors;
+// shutdown drains in-flight requests gracefully.
 #include <cstdio>
 #include <string>
 
@@ -29,6 +32,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]\n"
     "                     [--port P] [--bind ADDR] [--threads N] [--cache N]\n"
+    "                     [--max-conns N] [--idle-timeout SECONDS]\n"
     "                     [--trace FILE]\n";
 
 } // namespace
@@ -37,22 +41,29 @@ int main(int argc, char** argv) {
     using namespace fpm;
     try {
         std::vector<std::string> model_specs;
-        long long port = 0;
-        std::string bind_address;
         long long threads = 4;
         long long cache_capacity = 1024;
+        serve::ServeConfig config;
         try {
             const fpmtool::ArgParser args(
                 argc, argv,
-                {"--port", "--bind", "--threads", "--cache", "--trace"},
+                {"--port", "--bind", "--threads", "--cache", "--max-conns",
+                 "--idle-timeout", "--trace"},
                 {"--models"});
             model_specs = args.values("--models");
             fpmtool::init_tracing(args);
-            port = args.int_value("--port", 0);
-            bind_address = args.value("--bind", "127.0.0.1");
+            const long long port = args.int_value("--port", 0);
+            FPM_CHECK(port >= 0 && port <= 65535, "--port out of range");
+            config.port = static_cast<std::uint16_t>(port);
+            config.bind_address = args.value("--bind", "127.0.0.1");
             threads = args.int_value("--threads", 4);
             cache_capacity = args.int_value("--cache", 1024);
-            FPM_CHECK(port >= 0 && port <= 65535, "--port out of range");
+            const long long max_conns = args.int_value(
+                "--max-conns", static_cast<long long>(config.max_connections));
+            FPM_CHECK(max_conns >= 1, "--max-conns must be positive");
+            config.max_connections = static_cast<std::size_t>(max_conns);
+            config.idle_timeout =
+                args.double_value("--idle-timeout", config.idle_timeout);
             FPM_CHECK(threads >= 1, "--threads must be positive");
             FPM_CHECK(cache_capacity >= 1, "--cache must be positive");
         } catch (const std::exception& e) {
@@ -85,18 +96,17 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(cache_capacity);
         serve::RequestEngine engine(registry, engine_options);
 
-        serve::SocketServer::Options server_options;
-        server_options.port = static_cast<std::uint16_t>(port);
-        server_options.bind_address = bind_address;
-        serve::SocketServer server(engine, server_options);
+        serve::SocketServer server(engine, config);
         server.start();
         std::printf("fpmpart_serve listening on %s:%u (%lld worker(s), "
-                    "cache %lld); Ctrl-D to stop\n",
-                    bind_address.c_str(), server.port(), threads,
-                    cache_capacity);
+                    "cache %lld, max %zu conn(s), idle timeout %.3gs); "
+                    "Ctrl-D to stop\n",
+                    config.bind_address.c_str(), server.port(), threads,
+                    cache_capacity, config.max_connections,
+                    config.idle_timeout);
         std::fflush(stdout);
 
-        // Serve until stdin closes.
+        // Serve until stdin closes; stop() drains in-flight work.
         for (int ch = std::getchar(); ch != EOF; ch = std::getchar()) {
         }
         server.stop();
