@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "fpm/fault/fault.hpp"
 #include "fpm/serve/client.hpp"
 #include "fpm/serve/protocol.hpp"
 #include "fpm/serve/model_registry.hpp"
@@ -78,6 +79,36 @@ void BM_EngineCachedPartition(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_EngineCachedPartition);
+
+// The disarmed fault layer: a fire() on an unconfigured point must cost
+// one relaxed atomic load, nothing more.  This is the overhead every
+// hot-path site (cache lookup, recv, send) pays in production, so the
+// budget is "indistinguishable from free" next to the ~us cache hit.
+void BM_FaultPointDisabled(benchmark::State& state) {
+    fpm::fault::uninstall();
+    auto& point = fpm::fault::point("bench.disabled");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(static_cast<bool>(point.fire()));
+    }
+}
+BENCHMARK(BM_FaultPointDisabled);
+
+// The cache-hit path with the fault layer armed elsewhere (a rule on a
+// point the path never passes): shows arming is pay-per-site, not a
+// global slowdown.
+void BM_EngineCachedPartitionFaultsArmed(benchmark::State& state) {
+    auto& f = fixture();
+    fpm::fault::install(
+        fpm::fault::FaultPlan::parse("bench.elsewhere=0.5"));
+    f.engine.execute({"hybrid", 61, Algorithm::kFpm, true});  // warm it
+    for (auto _ : state) {
+        const auto response =
+            f.engine.execute({"hybrid", 61, Algorithm::kFpm, true});
+        benchmark::DoNotOptimize(response.plan.get());
+    }
+    fpm::fault::uninstall();
+}
+BENCHMARK(BM_EngineCachedPartitionFaultsArmed);
 
 // Contended engine throughput: every bench thread hammers a small key
 // set, mixing cache hits with coalesced and cold requests.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "fpm/fault/fault.hpp"
 #include "fpm/obs/metrics.hpp"
 #include "fpm/obs/trace.hpp"
 
@@ -73,6 +74,12 @@ void ThreadPool::worker_loop() {
         const std::uint64_t start_ns = obs::detail::now_ns();
         metrics.queue_wait.record(
             static_cast<double>(start_ns - job.enqueued_ns) * 1e-9);
+        // Dispatch injection: a delay rule stalls the worker before the
+        // job (simulating scheduler pressure).  The job always runs —
+        // dropping it would break the promise behind submit() — so a
+        // fail rule only counts, which the fault docs call out.
+        static auto& dispatch_fault = fault::point("rt.dispatch");
+        (void)dispatch_fault.fire();
         {
             obs::Span span("rt.task");
             job.fn();

@@ -8,15 +8,34 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "fpm/common/error.hpp"
+#include "fpm/common/rng.hpp"
+#include "fpm/obs/metrics.hpp"
 
 namespace fpm::serve {
 
 namespace {
+
+/// Process-global client-side counters (mirroring the engine's style).
+struct ClientMetrics {
+    obs::Counter& retries;
+    obs::Counter& reconnects;
+
+    static const ClientMetrics& get() {
+        static auto& registry = obs::MetricsRegistry::global();
+        static const ClientMetrics metrics{
+            registry.counter("serve.client.retries"),
+            registry.counter("serve.client.reconnects")};
+        return metrics;
+    }
+};
 
 timeval to_timeval(double seconds) {
     timeval tv{};
@@ -30,10 +49,14 @@ timeval to_timeval(double seconds) {
 /// polled for writability, and SO_ERROR reports the final outcome.  A
 /// non-positive timeout falls back to a plain blocking connect().
 void connect_with_timeout(int fd, const sockaddr_in& addr, double timeout) {
+    using Kind = TransportError::Kind;
     if (timeout <= 0.0) {
-        FPM_CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                            sizeof addr) == 0,
-                  std::string("connect(): ") + std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr) != 0) {
+            throw TransportError(
+                Kind::kConnect,
+                std::string("connect(): ") + std::strerror(errno));
+        }
         return;
     }
 
@@ -45,8 +68,11 @@ void connect_with_timeout(int fd, const sockaddr_in& addr, double timeout) {
     const int rc =
         ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
     if (rc != 0) {
-        FPM_CHECK(errno == EINPROGRESS,
-                  std::string("connect(): ") + std::strerror(errno));
+        if (errno != EINPROGRESS) {
+            throw TransportError(
+                Kind::kConnect,
+                std::string("connect(): ") + std::strerror(errno));
+        }
         pollfd pfd{};
         pfd.fd = fd;
         pfd.events = POLLOUT;
@@ -56,13 +82,18 @@ void connect_with_timeout(int fd, const sockaddr_in& addr, double timeout) {
             ready = ::poll(&pfd, 1, timeout_ms);
         } while (ready < 0 && errno == EINTR);
         FPM_CHECK(ready >= 0, std::string("poll(): ") + std::strerror(errno));
-        FPM_CHECK(ready > 0, "connect(): timed out");
+        if (ready == 0) {
+            throw TransportError(Kind::kTimeout, "connect(): timed out");
+        }
         int err = 0;
         socklen_t len = sizeof err;
         FPM_CHECK(::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0,
                   std::string("getsockopt(): ") + std::strerror(errno));
-        FPM_CHECK(err == 0,
-                  std::string("connect(): ") + std::strerror(err));
+        if (err != 0) {
+            throw TransportError(
+                Kind::kConnect,
+                std::string("connect(): ") + std::strerror(err));
+        }
     }
 
     FPM_CHECK(::fcntl(fd, F_SETFL, flags) == 0,
@@ -73,21 +104,32 @@ void connect_with_timeout(int fd, const sockaddr_in& addr, double timeout) {
 
 ServeClient::ServeClient(const std::string& host, std::uint16_t port,
                          const ServeConfig& config)
-    : config_(config) {
+    : host_(host), port_(port), config_(config) {
+    open_connection();
+}
+
+ServeClient::ServeClient(const std::string& host, std::uint16_t port)
+    : ServeClient(host, port, ServeConfig{}) {}
+
+ServeClient::~ServeClient() { close_fd(); }
+
+void ServeClient::open_connection() {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     FPM_CHECK(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
+    buffer_.clear();
 
     try {
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
-        addr.sin_port = htons(port);
-        FPM_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
-                  "invalid server address: " + host);
+        addr.sin_port = htons(port_);
+        FPM_CHECK(::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) == 1,
+                  "invalid server address: " + host_);
         try {
             connect_with_timeout(fd_, addr, config_.connect_timeout);
-        } catch (const Error& e) {
-            throw Error(std::string(e.what()) + " [" + host + ":" +
-                        std::to_string(port) + "]");
+        } catch (const TransportError& e) {
+            throw TransportError(e.kind(), std::string(e.what()) + " [" +
+                                               host_ + ":" +
+                                               std::to_string(port_) + "]");
         }
 
         const int one = 1;
@@ -104,16 +146,16 @@ ServeClient::ServeClient(const std::string& host, std::uint16_t port,
     }
 }
 
-ServeClient::ServeClient(const std::string& host, std::uint16_t port)
-    : ServeClient(host, port, ServeConfig{}) {}
-
-ServeClient::~ServeClient() {
+void ServeClient::close_fd() noexcept {
     if (fd_ >= 0) {
         ::close(fd_);
+        fd_ = -1;
     }
+    buffer_.clear();
 }
 
 void ServeClient::send_all(const std::string& framed) {
+    using Kind = TransportError::Kind;
     std::size_t sent = 0;
     while (sent < framed.size()) {
         const ssize_t n = ::send(fd_, framed.data() + sent,
@@ -123,15 +165,19 @@ void ServeClient::send_all(const std::string& framed) {
                 continue;
             }
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                throw Error("send(): timed out waiting for the server");
+                throw TransportError(Kind::kTimeout,
+                                     "send(): timed out waiting for the server");
             }
-            throw Error(std::string("send(): ") + std::strerror(errno));
+            throw TransportError(Kind::kSend,
+                                 std::string("send(): ") +
+                                     std::strerror(errno));
         }
         sent += static_cast<std::size_t>(n);
     }
 }
 
 std::string ServeClient::read_line() {
+    using Kind = TransportError::Kind;
     char chunk[4096];
     for (;;) {
         const auto newline = buffer_.find('\n');
@@ -148,9 +194,30 @@ std::string ServeClient::read_line() {
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            throw Error("recv(): timed out waiting for the server");
+            throw TransportError(Kind::kTimeout,
+                                 "recv(): timed out waiting for the server");
         }
-        FPM_CHECK(n > 0, "server closed the connection");
+        if (n < 0) {
+            throw TransportError(Kind::kSend, std::string("recv(): ") +
+                                                  std::strerror(errno));
+        }
+        if (n == 0) {
+            // EOF.  An empty carry-over buffer means the server hung up
+            // cleanly between replies; leftover bytes without a newline
+            // mean the reply was torn mid-line — distinct failures with
+            // distinct codes (a retrying caller treats both as
+            // transport loss, a protocol test must tell them apart).
+            if (buffer_.empty()) {
+                throw TransportError(Kind::kPeerClosed,
+                                     "server closed the connection");
+            }
+            const std::size_t torn = buffer_.size();
+            buffer_.clear();
+            throw TransportError(
+                Kind::kTruncated,
+                "server closed the connection mid-reply (" +
+                    std::to_string(torn) + " bytes without a newline)");
+        }
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
 }
@@ -188,7 +255,59 @@ ServeClient::pipeline(const std::vector<std::string>& lines) {
 }
 
 Response ServeClient::call(const Request& req) {
-    return Response::decode(request(req.encode()));
+    if (config_.max_retries <= 0 || req.kind == Request::Kind::kQuit) {
+        return Response::decode(request(req.encode()));
+    }
+
+    // Retry mode: the encoded line is computed once and re-sent verbatim
+    // on every attempt (idempotent re-send), and the jitter stream is
+    // seeded from the request fingerprint so a given config + request
+    // replays the same backoff schedule.
+    const std::string line = req.encode();
+    Rng jitter(config_.retry_seed ^ request_fingerprint(req));
+    const auto backoff = [&](int attempt) {
+        double delay = config_.backoff_base;
+        for (int i = 1; i < attempt; ++i) {
+            delay *= 2.0;
+        }
+        delay = std::min(delay, config_.backoff_max);
+        delay *= 1.0 + config_.backoff_jitter * (jitter.uniform() - 0.5);
+        if (delay > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        }
+    };
+
+    int attempt = 0;
+    for (;;) {
+        try {
+            if (fd_ < 0) {
+                ClientMetrics::get().reconnects.add();
+                open_connection();
+            }
+            const Response response = Response::decode(request(line));
+            if (response.kind == Response::Kind::kError &&
+                response.error == "busy" && attempt < config_.max_retries) {
+                // Admission rejection: the server also closed the
+                // connection, so start fresh after the backoff.
+                close_fd();
+                ++attempt;
+                ClientMetrics::get().retries.add();
+                backoff(attempt);
+                continue;
+            }
+            return response;
+        } catch (const TransportError&) {
+            // The connection is in an unknown state (a late reply would
+            // desynchronise the stream): always drop it before deciding.
+            close_fd();
+            if (attempt >= config_.max_retries) {
+                throw;
+            }
+            ++attempt;
+            ClientMetrics::get().retries.add();
+            backoff(attempt);
+        }
+    }
 }
 
 PartitionReply ServeClient::partition(const PartitionRequest& req) {
@@ -216,6 +335,18 @@ void ServeClient::ping() {
         return;
     }
     throw Error("unexpected PING reply: " + raw);
+}
+
+HealthReply ServeClient::health() {
+    Request wire;
+    wire.kind = Request::Kind::kHealth;
+    const Response response = call(wire);
+    if (response.kind == Response::Kind::kError) {
+        throw Error("server error: " + response.error);
+    }
+    FPM_CHECK(response.kind == Response::Kind::kHealth,
+              "malformed HEALTH reply");
+    return response.health;
 }
 
 } // namespace fpm::serve

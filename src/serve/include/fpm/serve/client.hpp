@@ -14,6 +14,16 @@
 /// SO_RCVTIMEO/SO_SNDTIMEO deadlines of ServeConfig::recv_timeout — a
 /// server that accepts but never replies produces a clear "timed out"
 /// fpm::Error instead of hanging the caller forever.
+///
+/// Transport failures are typed (TransportError), distinguishing a
+/// clean peer close from a reply truncated mid-line.  When
+/// ServeConfig::max_retries > 0, call() (and the typed helpers built on
+/// it) retries transport failures and `ERR busy` rejections with
+/// exponential backoff + deterministic jitter, reconnecting and
+/// re-sending the identical encoded line (requests are idempotent; the
+/// jitter stream is keyed on the request fingerprint, so a given
+/// config + request replays the same schedule).  Raw request()/
+/// pipeline() never retry — batch callers own their own policy.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,28 @@
 #include "fpm/serve/serve_config.hpp"
 
 namespace fpm::serve {
+
+/// A client-side transport failure, typed by what actually happened on
+/// the socket.  Derives fpm::Error, so callers that only care that the
+/// round trip failed keep working unchanged.
+class TransportError : public Error {
+public:
+    enum class Kind {
+        kConnect,     ///< could not establish the connection
+        kTimeout,     ///< connect/send/recv deadline expired
+        kPeerClosed,  ///< clean EOF between replies (no partial data)
+        kTruncated,   ///< EOF mid-reply: bytes arrived but no newline
+        kSend,        ///< hard send failure (EPIPE, ECONNRESET, ...)
+    };
+
+    TransportError(Kind kind, const std::string& message)
+        : Error(message), kind_(kind) {}
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+private:
+    Kind kind_;
+};
 
 /// See file comment.
 class ServeClient {
@@ -57,7 +89,9 @@ public:
     void send_lines(const std::vector<std::string>& lines);
     std::vector<std::string> read_replies(std::size_t count);
 
-    /// Typed request round trip: encode, send, decode.
+    /// Typed request round trip: encode, send, decode.  With
+    /// ServeConfig::max_retries > 0 this is the retrying entry point
+    /// (see file comment); QUIT is never retried.
     Response call(const Request& request);
 
     /// PARTITION round trip with a decoded reply; throws fpm::Error when
@@ -69,11 +103,19 @@ public:
     /// reported as a protocol version error, not silently tolerated.
     void ping();
 
+    /// HEALTH round trip with a decoded reply; throws fpm::Error when
+    /// the server answers ERR.
+    HealthReply health();
+
 private:
+    void open_connection();
+    void close_fd() noexcept;
     void send_all(const std::string& framed);
     std::string read_line();
 
     int fd_ = -1;
+    std::string host_;
+    std::uint16_t port_ = 0;
     ServeConfig config_;
     std::string buffer_;  // carry-over bytes between reads
 };

@@ -12,6 +12,7 @@
 ///     PARTITION <model> <n> <algo> [nolayout] -> OK PARTITION ...
 ///     MODELS                                  -> OK MODELS ...
 ///     STATS                                   -> OK STATS ...
+///     HEALTH                                  -> OK HEALTH ...
 ///     QUIT                                    -> OK BYE
 ///
 /// Failures are `ERR <message>`.  Doubles travel as shortest-exact
@@ -19,6 +20,10 @@
 /// bit-for-bit with the direct library call.  kProtocolVersion is the
 /// single revision constant: PING carries it, ServeClient::ping()
 /// enforces it, and nothing else restates it.
+///
+/// The normative wire-format specification (framing, field grammars,
+/// the ERR taxonomy, degraded-reply semantics) lives in
+/// docs/protocol.md; this header and that document must change together.
 #pragma once
 
 #include <cstdint>
@@ -29,9 +34,10 @@
 
 namespace fpm::serve {
 
-/// Wire protocol revision.  v3: typed messages and the reactor's STATS
-/// fields (connection gauges, queue-to-reply quantiles).  Clients must
-/// refuse to talk to a server announcing a different revision
+/// Wire protocol revision.  v3: typed messages, the reactor's STATS
+/// fields (connection gauges, queue-to-reply quantiles), the HEALTH
+/// request and the PARTITION `degraded=` flag.  Clients must refuse to
+/// talk to a server announcing a different revision
 /// (ServeClient::ping enforces this).
 inline constexpr int kProtocolVersion = 3;
 
@@ -39,7 +45,8 @@ inline constexpr int kProtocolVersion = 3;
 /// with a client-safe message on unknown verbs, arity errors or
 /// malformed numbers); encode() renders the line the client sends.
 struct Request {
-    enum class Kind { kPing, kLoad, kPartition, kModels, kStats, kQuit };
+    enum class Kind { kPing, kLoad, kPartition, kModels, kStats, kHealth,
+                      kQuit };
 
     Kind kind = Kind::kPing;
     PartitionRequest partition;  ///< kPartition
@@ -58,6 +65,9 @@ struct PartitionReply {
     Algorithm algorithm = Algorithm::kFpm;
     bool cached = false;
     bool coalesced = false;
+    /// Served from a stale plan or the constant-performance fallback
+    /// because the requested model/compute was unavailable.
+    bool degraded = false;
     double balanced_time = 0.0;
     double makespan = 0.0;
     std::int64_t comm_cost = 0;
@@ -71,6 +81,17 @@ struct LoadedReply {
     std::uint64_t models = 0;
     std::uint64_t generation = 0;
     std::uint64_t fingerprint = 0;
+};
+
+/// Payload of an `OK HEALTH` response: liveness (the process answered),
+/// readiness (at least one model set is loaded), and the degradation
+/// counters an operator watches during fault drills.
+struct HealthReply {
+    bool live = true;
+    bool ready = false;
+    std::uint64_t models = 0;           ///< registry size
+    std::uint64_t faults_injected = 0;  ///< fault::injected_total()
+    std::uint64_t degraded = 0;         ///< degraded partitions served
 };
 
 /// One registry entry in an `OK MODELS` response.
@@ -93,7 +114,7 @@ struct StatField {
 /// fpm::Error on structurally malformed replies.
 struct Response {
     enum class Kind { kError, kPong, kBye, kLoaded, kModels, kStats,
-                      kPartition };
+                      kHealth, kPartition };
 
     Kind kind = Kind::kError;
     std::string error;                 ///< kError
@@ -101,6 +122,7 @@ struct Response {
     LoadedReply loaded;                ///< kLoaded
     std::vector<ModelSetInfo> sets;    ///< kModels
     std::vector<StatField> stats;      ///< kStats
+    HealthReply health;                ///< kHealth
     PartitionReply partition;          ///< kPartition
 
     [[nodiscard]] std::string encode() const;
@@ -139,5 +161,10 @@ make_partition_reply(const PartitionRequest& request,
 /// on `ERR` responses (carrying the server message) and on malformed or
 /// differently-typed replies.
 [[nodiscard]] PartitionReply parse_partition_reply(const std::string& reply);
+
+/// Stable 64-bit fingerprint of a request's encoded wire line (FNV-1a).
+/// ServeClient keys its retry jitter stream on this, so identical
+/// requests replay the same backoff schedule.
+[[nodiscard]] std::uint64_t request_fingerprint(const Request& request);
 
 } // namespace fpm::serve

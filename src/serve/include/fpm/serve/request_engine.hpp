@@ -13,6 +13,18 @@
 /// request the engine records wall-clock latency into a
 /// measure::RunningStats, surfaced through stats() and the STATS wire
 /// command.
+///
+/// When Options::degraded is on (the default) the engine keeps serving
+/// through disturbances instead of failing hard: a request whose model
+/// set vanished, whose compute failed (e.g. a serve.compute fault
+/// injection), or whose coalesced leader blew Options::coalesce_deadline
+/// is answered from the *stale-plan cache* — the last plan computed for
+/// the same (set name, n, algorithm, layout), surviving reloads that
+/// change the content fingerprint — or, failing that, from a
+/// constant-performance fallback (Algorithm::kEven even split), which
+/// needs no model quality at all.  Degraded responses are flagged
+/// (`PartitionResponse::degraded`, wire `degraded=1`) and counted in
+/// EngineStats::degraded and the `serve.degraded` obs counter.
 #pragma once
 
 #include <array>
@@ -49,6 +61,7 @@ struct PartitionResponse {
     std::shared_ptr<const PartitionPlan> plan;
     bool cache_hit = false;   ///< served straight from the cache
     bool coalesced = false;   ///< shared an identical in-flight computation
+    bool degraded = false;    ///< stale or constant-model fallback answer
     double latency_seconds = 0.0;
 };
 
@@ -57,6 +70,7 @@ struct EngineStats {
     std::uint64_t requests = 0;
     std::uint64_t computed = 0;   ///< full pipeline executions
     std::uint64_t coalesced = 0;  ///< requests served by single-flight dedup
+    std::uint64_t degraded = 0;   ///< stale/fallback answers served
     measure::Summary latency;     ///< per-request wall-clock seconds
     /// Per-algorithm request latency (seconds), indexed by
     /// static_cast<std::size_t>(Algorithm) — p50/p95/p99 feed the STATS
@@ -72,6 +86,12 @@ public:
         unsigned workers = 4;             ///< thread-pool size for submit()
         std::size_t cache_capacity = 1024;
         part::FpmPartitionOptions partition{};  ///< forwarded to the bisection
+        /// Serve stale/fallback plans instead of failing when the model
+        /// is missing or a compute fails (see file comment).
+        bool degraded = true;
+        /// Seconds a coalesced waiter waits for its leader before
+        /// degrading (<= 0: wait forever, prior behaviour).
+        double coalesce_deadline = 0.0;
     };
 
     /// The registry must outlive the engine.
@@ -136,11 +156,25 @@ private:
 
     PartitionResponse finish(double latency, Algorithm algorithm,
                              std::shared_ptr<const PartitionPlan> plan,
-                             bool cache_hit, bool coalesced);
+                             bool cache_hit, bool coalesced,
+                             bool degraded = false);
+
+    /// Stale-plan cache key: hashes the *set name* (not the content
+    /// fingerprint), so the entry survives reloads and outages.
+    [[nodiscard]] static PlanKey stale_key(const PartitionRequest& request);
+
+    /// Degraded answer for `request`: stale plan first, else an even
+    /// split over `set` (pass nullptr when no snapshot is available —
+    /// then only the stale path can serve).  nullopt when degradation is
+    /// disabled or impossible; the caller surfaces the original error.
+    [[nodiscard]] std::optional<PartitionResponse>
+    degrade(const PartitionRequest& request, const ModelSet* set,
+            double elapsed_seconds);
 
     ModelRegistry& registry_;
     Options options_;
     PartitionCache cache_;
+    PartitionCache stale_;  ///< name-keyed last-known-good plans
     rt::ThreadPool pool_;
 
     std::mutex inflight_mutex_;
@@ -150,6 +184,7 @@ private:
     std::uint64_t requests_ = 0;
     std::uint64_t computed_ = 0;
     std::uint64_t coalesced_ = 0;
+    std::uint64_t degraded_ = 0;
     measure::RunningStats latency_;
     /// Lock-free per-algorithm latency; indexed like
     /// EngineStats::latency_by_algorithm.

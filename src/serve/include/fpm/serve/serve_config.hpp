@@ -37,6 +37,20 @@ struct ServeConfig {
     // -- client deadlines ---------------------------------------------
     double connect_timeout = 5.0;  ///< non-blocking connect + poll
     double recv_timeout = 5.0;     ///< per send/recv (SO_RCVTIMEO/SNDTIMEO)
+
+    // -- client retry (off by default) --------------------------------
+    /// Extra attempts after the first failure of a retryable request
+    /// (transport errors and `ERR busy`).  0 disables retry entirely:
+    /// every failure surfaces immediately, as prior releases did.
+    int max_retries = 0;
+    /// First backoff; attempt k sleeps backoff_base * 2^(k-1), capped
+    /// at backoff_max, then widened by +-(backoff_jitter/2) fraction.
+    double backoff_base = 0.02;
+    double backoff_max = 0.5;
+    double backoff_jitter = 0.5;
+    /// Seed for the deterministic per-request jitter stream (xor'd with
+    /// the request fingerprint, so identical configs replay exactly).
+    std::uint64_t retry_seed = 0;
 };
 
 } // namespace fpm::serve

@@ -5,6 +5,7 @@
 
 #include "fpm/common/error.hpp"
 #include "fpm/core/model_io.hpp"
+#include "fpm/fault/fault.hpp"
 
 namespace fpm::serve {
 
@@ -57,6 +58,14 @@ ModelRegistry::put(const std::string& name,
     FPM_CHECK(name.find_first_of(" \t\r\n,=") == std::string::npos,
               "model set name must not contain whitespace, ',' or '=': " + name);
     FPM_CHECK(!models.empty(), "model set must hold at least one model");
+
+    static auto& reload_fault = fault::point("serve.reload");
+    if (reload_fault.fire()) {
+        // Simulated reload failure (corrupt CSV, disk error): the
+        // previous snapshot stays installed, exactly as with a real
+        // load_speed_functions_csv throw.
+        throw Error("injected fault: model registry reload");
+    }
 
     auto set = std::make_shared<ModelSet>();
     set->name = name;

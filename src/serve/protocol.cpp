@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "fpm/common/error.hpp"
+#include "fpm/fault/fault.hpp"
 #include "fpm/serve/reactor_metrics.hpp"
 
 namespace fpm::serve {
@@ -114,6 +115,8 @@ std::string Request::encode() const {
         return "QUIT";
     case Kind::kStats:
         return "STATS";
+    case Kind::kHealth:
+        return "HEALTH";
     case Kind::kModels:
         return "MODELS";
     case Kind::kLoad:
@@ -146,6 +149,9 @@ Request Request::decode(const std::string& line) {
     } else if (verb == "STATS") {
         FPM_CHECK(tokens.size() == 1, "STATS takes no arguments");
         request.kind = Kind::kStats;
+    } else if (verb == "HEALTH") {
+        FPM_CHECK(tokens.size() == 1, "HEALTH takes no arguments");
+        request.kind = Kind::kHealth;
     } else if (verb == "MODELS") {
         FPM_CHECK(tokens.size() == 1, "MODELS takes no arguments");
         request.kind = Kind::kModels;
@@ -224,6 +230,15 @@ std::string Response::encode() const {
         }
         return out.str();
     }
+    case Kind::kHealth: {
+        std::ostringstream out;
+        out << "OK HEALTH live=" << (health.live ? 1 : 0)
+            << " ready=" << (health.ready ? 1 : 0)
+            << " models=" << health.models
+            << " faults=" << health.faults_injected
+            << " degraded=" << health.degraded;
+        return out.str();
+    }
     case Kind::kPartition: {
         std::ostringstream out;
         out << "OK PARTITION model=" << partition.model
@@ -231,6 +246,7 @@ std::string Response::encode() const {
             << " algo=" << part::to_string(partition.algorithm)
             << " cached=" << (partition.cached ? 1 : 0)
             << " coalesced=" << (partition.coalesced ? 1 : 0)
+            << " degraded=" << (partition.degraded ? 1 : 0)
             << " balanced=" << format_double(partition.balanced_time)
             << " makespan=" << format_double(partition.makespan)
             << " comm=" << partition.comm_cost << " blocks=";
@@ -322,8 +338,21 @@ Response Response::decode(const std::string& line) {
             response.stats.push_back(
                 {tokens[i].substr(0, eq), tokens[i].substr(eq + 1)});
         }
+    } else if (tag == "HEALTH") {
+        FPM_CHECK(tokens.size() == 7, "malformed HEALTH reply: " + line);
+        response.kind = Kind::kHealth;
+        response.health.live =
+            parse_int(expect_kv(tokens[2], "live"), "live") != 0;
+        response.health.ready =
+            parse_int(expect_kv(tokens[3], "ready"), "ready") != 0;
+        response.health.models = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[4], "models"), "model count"));
+        response.health.faults_injected = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[5], "faults"), "fault count"));
+        response.health.degraded = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[6], "degraded"), "degraded count"));
     } else if (tag == "PARTITION") {
-        FPM_CHECK(tokens.size() == 13, "malformed partition reply: " + line);
+        FPM_CHECK(tokens.size() == 14, "malformed partition reply: " + line);
         response.kind = Kind::kPartition;
         PartitionReply& parsed = response.partition;
         parsed.model = expect_kv(tokens[2], "model");
@@ -339,15 +368,17 @@ Response Response::decode(const std::string& line) {
             parse_int(expect_kv(tokens[6], "cached"), "cached") != 0;
         parsed.coalesced =
             parse_int(expect_kv(tokens[7], "coalesced"), "coalesced") != 0;
+        parsed.degraded =
+            parse_int(expect_kv(tokens[8], "degraded"), "degraded") != 0;
         parsed.balanced_time =
-            parse_double(expect_kv(tokens[8], "balanced"), "balanced time");
+            parse_double(expect_kv(tokens[9], "balanced"), "balanced time");
         parsed.makespan =
-            parse_double(expect_kv(tokens[9], "makespan"), "makespan");
-        parsed.comm_cost = parse_int(expect_kv(tokens[10], "comm"), "comm cost");
-        for (const auto& cell : split(expect_kv(tokens[11], "blocks"), ',')) {
+            parse_double(expect_kv(tokens[10], "makespan"), "makespan");
+        parsed.comm_cost = parse_int(expect_kv(tokens[11], "comm"), "comm cost");
+        for (const auto& cell : split(expect_kv(tokens[12], "blocks"), ',')) {
             parsed.blocks.push_back(parse_int(cell, "block count"));
         }
-        const std::string layout_text = expect_kv(tokens[12], "layout");
+        const std::string layout_text = expect_kv(tokens[13], "layout");
         if (layout_text != "-") {
             for (const auto& rect_text : split(layout_text, '|')) {
                 const auto fields = split(rect_text, ':');
@@ -380,6 +411,7 @@ PartitionReply make_partition_reply(const PartitionRequest& request,
     reply.algorithm = plan.key.algorithm;
     reply.cached = response.cache_hit;
     reply.coalesced = response.coalesced;
+    reply.degraded = response.degraded;
     reply.balanced_time = plan.balanced_time;
     reply.makespan = plan.makespan;
     reply.comm_cost = plan.comm_cost;
@@ -402,6 +434,8 @@ Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
     fields.push_back({"evictions", std::to_string(stats.cache.evictions)});
     fields.push_back({"cache_size", std::to_string(stats.cache.size)});
     fields.push_back({"models", std::to_string(model_count)});
+    fields.push_back({"degraded", std::to_string(stats.degraded)});
+    fields.push_back({"faults", std::to_string(fault::injected_total())});
     fields.push_back(
         {"mean_latency_us", format_double(stats.latency.mean * 1e6)});
     fields.push_back(
@@ -465,6 +499,15 @@ Response handle_request(RequestEngine& engine, const Request& request) {
         }
         case Request::Kind::kStats:
             return make_stats_reply(engine.stats(), engine.registry().size());
+        case Request::Kind::kHealth: {
+            response.kind = Response::Kind::kHealth;
+            response.health.live = true;
+            response.health.models = engine.registry().size();
+            response.health.ready = response.health.models > 0;
+            response.health.faults_injected = fault::injected_total();
+            response.health.degraded = engine.stats().degraded;
+            return response;
+        }
         case Request::Kind::kPartition: {
             const PartitionResponse served = engine.execute(request.partition);
             response.kind = Response::Kind::kPartition;
@@ -484,6 +527,16 @@ std::string handle_line(RequestEngine& engine, const std::string& line) {
     } catch (const std::exception& e) {
         return Response::make_error(e.what()).encode();
     }
+}
+
+std::uint64_t request_fingerprint(const Request& request) {
+    const std::string line = request.encode();
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (const char ch : line) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ULL;
+    }
+    return h;
 }
 
 PartitionReply parse_partition_reply(const std::string& reply) {

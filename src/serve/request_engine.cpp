@@ -1,6 +1,9 @@
 #include "fpm/serve/request_engine.hpp"
 
+#include <chrono>
+
 #include "fpm/common/error.hpp"
+#include "fpm/fault/fault.hpp"
 #include "fpm/measure/timer.hpp"
 #include "fpm/obs/trace.hpp"
 #include "fpm/part/request.hpp"
@@ -16,6 +19,7 @@ struct ServeMetrics {
     obs::Counter& computed;
     obs::Counter& coalesced;
     obs::Counter& cache_hits;
+    obs::Counter& degraded;
 
     static const ServeMetrics& get() {
         static auto& registry = obs::MetricsRegistry::global();
@@ -23,10 +27,22 @@ struct ServeMetrics {
             registry.counter("serve.requests"),
             registry.counter("serve.computed"),
             registry.counter("serve.coalesced"),
-            registry.counter("serve.cache_hits")};
+            registry.counter("serve.cache_hits"),
+            registry.counter("serve.degraded")};
         return metrics;
     }
 };
+
+/// FNV-1a of a set *name* — the stale-plan cache key hash, deliberately
+/// independent of model content so it survives reloads.
+std::uint64_t hash_name(const std::string& name) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char ch : name) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
 
 } // namespace
 
@@ -34,6 +50,7 @@ RequestEngine::RequestEngine(ModelRegistry& registry, Options options)
     : registry_(registry),
       options_(options),
       cache_(options.cache_capacity),
+      stale_(options.cache_capacity),
       pool_(options.workers) {}
 
 RequestEngine::RequestEngine(ModelRegistry& registry)
@@ -59,13 +76,56 @@ PartitionPlan RequestEngine::compute_plan(const ModelSet& set, std::int64_t n,
 
 PartitionResponse RequestEngine::finish(double latency, Algorithm algorithm,
                                         std::shared_ptr<const PartitionPlan> plan,
-                                        bool cache_hit, bool coalesced) {
+                                        bool cache_hit, bool coalesced,
+                                        bool degraded) {
     {
         std::lock_guard lock(stats_mutex_);
         latency_.add(latency);
     }
     latency_histograms_[static_cast<std::size_t>(algorithm)].record(latency);
-    return PartitionResponse{std::move(plan), cache_hit, coalesced, latency};
+    return PartitionResponse{std::move(plan), cache_hit, coalesced, degraded,
+                             latency};
+}
+
+PlanKey RequestEngine::stale_key(const PartitionRequest& request) {
+    return PlanKey{hash_name(request.model_set), request.n, request.algorithm,
+                   request.with_layout};
+}
+
+std::optional<PartitionResponse>
+RequestEngine::degrade(const PartitionRequest& request, const ModelSet* set,
+                       double elapsed_seconds) {
+    if (!options_.degraded) {
+        return std::nullopt;
+    }
+    std::shared_ptr<const PartitionPlan> plan;
+    {
+        std::lock_guard lock(inflight_mutex_);
+        plan = stale_.get(stale_key(request));
+    }
+    if (!plan && set != nullptr) {
+        // Constant-performance fallback: an even split needs no model
+        // quality, only the device count.  Computed directly (no cache,
+        // no dedup, no injection point) so it cannot fail the same way
+        // the primary path just did.
+        try {
+            plan = std::make_shared<const PartitionPlan>(
+                compute_plan(*set, request.n, Algorithm::kEven,
+                             request.with_layout, options_.partition));
+        } catch (...) {
+            plan = nullptr;  // infeasible workload: nothing to serve
+        }
+    }
+    if (!plan) {
+        return std::nullopt;
+    }
+    {
+        std::lock_guard lock(stats_mutex_);
+        ++degraded_;
+    }
+    ServeMetrics::get().degraded.add();
+    return finish(elapsed_seconds, request.algorithm, std::move(plan), false,
+                  false, true);
 }
 
 PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
@@ -77,8 +137,14 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
         std::lock_guard lock(stats_mutex_);
         ++requests_;
     }
-    const auto set = registry_.get(request.model_set);
     FPM_CHECK(request.n > 0, "workload size must be positive");
+    const auto set = registry_.find(request.model_set);
+    if (!set) {
+        if (auto fallback = degrade(request, nullptr, timer.elapsed())) {
+            return *std::move(fallback);
+        }
+        throw Error("unknown model set: " + request.model_set);
+    }
     const PlanKey key{set->fingerprint, request.n, request.algorithm,
                       request.with_layout};
 
@@ -107,7 +173,29 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
     }
 
     if (!leader) {
-        auto plan = flight->future.get();  // rethrows the leader's failure
+        if (options_.coalesce_deadline > 0.0) {
+            const auto deadline = std::chrono::duration<double>(
+                options_.coalesce_deadline);
+            if (flight->future.wait_for(deadline) ==
+                std::future_status::timeout) {
+                // The leader is stuck (or fault-delayed); answer degraded
+                // rather than stall the caller.  Without a degraded
+                // answer we fall through and wait it out as before.
+                if (auto fallback =
+                        degrade(request, set.get(), timer.elapsed())) {
+                    return *std::move(fallback);
+                }
+            }
+        }
+        std::shared_ptr<const PartitionPlan> plan;
+        try {
+            plan = flight->future.get();  // rethrows the leader's failure
+        } catch (...) {
+            if (auto fallback = degrade(request, set.get(), timer.elapsed())) {
+                return *std::move(fallback);
+            }
+            throw;
+        }
         {
             std::lock_guard lock(stats_mutex_);
             ++coalesced_;
@@ -118,6 +206,10 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
     }
 
     try {
+        static auto& compute_fault = fault::point("serve.compute");
+        if (compute_fault.fire()) {
+            throw Error("injected fault: serve.compute");
+        }
         auto plan = std::make_shared<const PartitionPlan>(compute_plan(
             *set, request.n, request.algorithm, request.with_layout,
             options_.partition));
@@ -125,6 +217,7 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
         {
             std::lock_guard lock(inflight_mutex_);
             inflight_.erase(key);
+            stale_.put(stale_key(request), plan);
         }
         flight->promise.set_value(plan);
         {
@@ -140,6 +233,9 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
             inflight_.erase(key);
         }
         flight->promise.set_exception(std::current_exception());
+        if (auto fallback = degrade(request, set.get(), timer.elapsed())) {
+            return *std::move(fallback);
+        }
         throw;
     }
 }
@@ -207,6 +303,7 @@ EngineStats RequestEngine::stats() const {
         stats.requests = requests_;
         stats.computed = computed_;
         stats.coalesced = coalesced_;
+        stats.degraded = degraded_;
         stats.latency = latency_.summary();
     }
     for (std::size_t i = 0; i < kAlgorithmCount; ++i) {

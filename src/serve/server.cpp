@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fpm/common/error.hpp"
+#include "fpm/fault/fault.hpp"
 #include "fpm/serve/reactor_metrics.hpp"
 
 namespace fpm::serve {
@@ -307,6 +308,14 @@ struct SocketServer::Reactor {
                 ::close(fd);
                 continue;
             }
+            static auto& accept_fault = fault::point("serve.accept");
+            if (accept_fault.fire()) {
+                // Simulated accept failure: the peer sees a raw close
+                // (as if the listener's backlog dropped it) and must
+                // reconnect.
+                ::close(fd);
+                continue;
+            }
             const int one = 1;
             ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -353,15 +362,20 @@ struct SocketServer::Reactor {
         if (request.kind == Request::Kind::kPartition) {
             // Cache hits answer on the loop thread — no pool hop, no
             // eventfd round trip.  STATS counts them exactly like the
-            // pool's hit path.
-            if (auto cached = engine.try_execute_cached(request.partition)) {
-                Response response;
-                response.kind = Response::Kind::kPartition;
-                response.partition =
-                    make_partition_reply(request.partition, *cached);
-                slot.ready = true;
-                slot.text = response.encode();
-                return;
+            // pool's hit path.  A serve.cache fault skips the fast path
+            // (simulated cache outage); the pool still answers.
+            static auto& cache_fault = fault::point("serve.cache");
+            if (!cache_fault.fire()) {
+                if (auto cached =
+                        engine.try_execute_cached(request.partition)) {
+                    Response response;
+                    response.kind = Response::Kind::kPartition;
+                    response.partition =
+                        make_partition_reply(request.partition, *cached);
+                    slot.ready = true;
+                    slot.text = response.encode();
+                    return;
+                }
             }
             // Compute goes to the engine's pool; the completion returns
             // to this loop through the eventfd mailbox and fills the
@@ -438,6 +452,17 @@ struct SocketServer::Reactor {
     /// Non-blocking write of the out buffer.  A hard send failure closes
     /// the connection and is counted — never silently swallowed.
     bool try_write(Connection& conn) {
+        if (conn.out_pos < conn.outbuf.size()) {
+            static auto& send_fault = fault::point("serve.send");
+            if (send_fault.fire()) {
+                // Simulated hard send failure, same path as EPIPE below:
+                // counted, never silently swallowed.  The peer sees a
+                // mid-stream close, i.e. a truncated reply.
+                metrics().send_failures.add();
+                close_conn(conn.id);
+                return false;
+            }
+        }
         while (conn.out_pos < conn.outbuf.size()) {
             const ssize_t n =
                 ::send(conn.fd, conn.outbuf.data() + conn.out_pos,
@@ -470,6 +495,14 @@ struct SocketServer::Reactor {
     }
 
     bool on_readable(Connection& conn) {
+        static auto& recv_fault = fault::point("serve.recv");
+        if (recv_fault.fire()) {
+            // Simulated recv failure (ECONNRESET): drop the connection
+            // with whatever was buffered, exactly like the error path
+            // below.
+            close_conn(conn.id);
+            return false;
+        }
         char chunk[16384];
         bool got_bytes = false;
         bool eof = false;

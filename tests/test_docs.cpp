@@ -1,0 +1,153 @@
+// Docs-consistency checks: the runbook and the protocol spec are kept
+// honest against the code they describe.  Every ServeConfig knob and
+// every STATS field must be documented in docs/operations.md, and every
+// protocol verb must appear in docs/protocol.md.  The source tree's
+// location is baked in via FPMPART_SOURCE_DIR at configure time.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fpm/serve/protocol.hpp"
+#include "fpm/serve/request_engine.hpp"
+
+namespace {
+
+std::string read_file(const std::string& relative) {
+    const std::string path = std::string(FPMPART_SOURCE_DIR) + "/" + relative;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing file: " << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+bool identifier(const std::string& token) {
+    if (token.empty() || std::isdigit(static_cast<unsigned char>(token[0]))) {
+        return false;
+    }
+    for (const char c : token) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Extracts member names from a plain aggregate header: any line of the
+/// form `<type> <name> = <default>;` (modulo trailing comments) yields
+/// <name>.  Deliberately simple — it only has to keep up with
+/// serve_config.hpp, and a false negative fails loudly below.
+std::vector<std::string> struct_fields(const std::string& source) {
+    std::vector<std::string> fields;
+    std::istringstream lines(source);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) {
+            continue;
+        }
+        const char lead = line[first];
+        if (lead == '/' || lead == '#' || lead == '}' || lead == '{') {
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            continue;
+        }
+        // Last whitespace-separated token before the '='.
+        std::istringstream head(line.substr(0, eq));
+        std::string token;
+        std::string name;
+        while (head >> token) {
+            name = token;
+        }
+        if (identifier(name)) {
+            fields.push_back(name);
+        }
+    }
+    return fields;
+}
+
+TEST(DocsConsistency, OperationsRunbookCoversEveryServeConfigKnob) {
+    const std::string header =
+        read_file("src/serve/include/fpm/serve/serve_config.hpp");
+    const std::string runbook = read_file("docs/operations.md");
+    const std::vector<std::string> fields = struct_fields(header);
+    // Guard the extractor itself: ServeConfig has had >= 13 knobs since
+    // the retry block landed.  If this trips, the heuristic regressed.
+    EXPECT_GE(fields.size(), 13u);
+    for (const std::string& field : fields) {
+        EXPECT_NE(runbook.find(field), std::string::npos)
+            << "ServeConfig::" << field << " is not documented in "
+            << "docs/operations.md";
+    }
+}
+
+TEST(DocsConsistency, OperationsRunbookCoversEveryStatsField) {
+    const std::string runbook = read_file("docs/operations.md");
+    const fpm::serve::Response stats =
+        fpm::serve::make_stats_reply(fpm::serve::EngineStats{}, 0);
+    ASSERT_FALSE(stats.stats.empty());
+    for (const auto& field : stats.stats) {
+        EXPECT_NE(runbook.find(field.name), std::string::npos)
+            << "STATS field '" << field.name << "' is not documented in "
+            << "docs/operations.md";
+    }
+}
+
+TEST(DocsConsistency, OperationsRunbookCoversEnvironmentVariables) {
+    const std::string runbook = read_file("docs/operations.md");
+    for (const char* name : {"FPMPART_FAULTS", "FPMPART_TRACE"}) {
+        EXPECT_NE(runbook.find(name), std::string::npos)
+            << name << " is not documented in docs/operations.md";
+    }
+    // The well-known injection points must all be listed by name.
+    for (const char* point :
+         {"serve.accept", "serve.recv", "serve.send", "serve.cache",
+          "serve.compute", "serve.reload", "rt.dispatch"}) {
+        EXPECT_NE(runbook.find(point), std::string::npos)
+            << "fault point '" << point
+            << "' is not documented in docs/operations.md";
+    }
+}
+
+TEST(DocsConsistency, ProtocolSpecCoversEveryVerbAndHealthField) {
+    const std::string spec = read_file("docs/protocol.md");
+    for (const char* verb :
+         {"PING", "LOAD", "PARTITION", "MODELS", "STATS", "HEALTH", "QUIT"}) {
+        EXPECT_NE(spec.find(verb), std::string::npos)
+            << "verb " << verb << " is not documented in docs/protocol.md";
+    }
+    for (const char* token :
+         {"OK PONG", "OK HEALTH", "OK PARTITION", "ERR ", "degraded=",
+          "live=", "ready=", "faults=", "coalesced="}) {
+        EXPECT_NE(spec.find(token), std::string::npos)
+            << "token '" << token << "' is not documented in docs/protocol.md";
+    }
+}
+
+TEST(DocsConsistency, ReadmeLinksTheDocs) {
+    const std::string readme = read_file("README.md");
+    EXPECT_NE(readme.find("docs/protocol.md"), std::string::npos);
+    EXPECT_NE(readme.find("docs/operations.md"), std::string::npos);
+}
+
+TEST(DocsConsistency, DesignDocDescribesTheCurrentArchitecture) {
+    const std::string design = read_file("DESIGN.md");
+    for (const char* token :
+         {"fpm::fault", "epoll", "reactor", "degraded", "RequestEngine"}) {
+        EXPECT_NE(design.find(token), std::string::npos)
+            << "DESIGN.md does not mention '" << token << "'";
+    }
+    // The PR-1 thread-per-connection server is gone; the design doc must
+    // not still describe it.
+    EXPECT_EQ(design.find("thread-per-connection"), std::string::npos)
+        << "DESIGN.md still describes the retired thread-per-connection "
+        << "server";
+}
+
+} // namespace

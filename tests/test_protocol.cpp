@@ -1,0 +1,399 @@
+// Round-trip and fuzz-ish decode coverage for every v3 protocol message
+// type.  The wire spec these tests pin down is docs/protocol.md; the
+// invariant under fuzzing is that decode() either succeeds or throws
+// fpm::Error — truncated, oversized or garbage input must never crash,
+// hang, or escape as a different exception type.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+#include "fpm/common/rng.hpp"
+#include "fpm/serve/protocol.hpp"
+
+namespace {
+
+using namespace fpm;
+using namespace fpm::serve;
+
+// Decoding `line` must either produce a value or throw fpm::Error.
+// Returns true when it decoded.
+bool request_decodes(const std::string& line) {
+    try {
+        (void)Request::decode(line);
+        return true;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+bool response_decodes(const std::string& line) {
+    try {
+        (void)Response::decode(line);
+        return true;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+PartitionReply sample_partition_reply(bool degraded, bool with_rects) {
+    PartitionReply reply;
+    reply.model = "hybrid";
+    reply.generation = 7;
+    reply.n = 640;
+    reply.algorithm = Algorithm::kFpm;
+    reply.cached = true;
+    reply.coalesced = false;
+    reply.degraded = degraded;
+    reply.balanced_time = 0.12345678901234567;
+    reply.makespan = 1e-9;
+    reply.comm_cost = 4242;
+    reply.blocks = {100, 250, 290};
+    if (with_rects) {
+        reply.rects = {part::Rect{0, 0, 100, 640}, part::Rect{100, 0, 250, 640},
+                       part::Rect{350, 0, 290, 640}};
+    }
+    return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Request round trips
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolRequest, EveryKindRoundTrips) {
+    std::vector<Request> requests;
+
+    Request ping;  // default
+    requests.push_back(ping);
+
+    Request quit;
+    quit.kind = Request::Kind::kQuit;
+    requests.push_back(quit);
+
+    Request stats;
+    stats.kind = Request::Kind::kStats;
+    requests.push_back(stats);
+
+    Request health;
+    health.kind = Request::Kind::kHealth;
+    requests.push_back(health);
+
+    Request models;
+    models.kind = Request::Kind::kModels;
+    requests.push_back(models);
+
+    Request load;
+    load.kind = Request::Kind::kLoad;
+    load.name = "hybrid";
+    load.path = "/tmp/models.csv";
+    requests.push_back(load);
+
+    Request partition;
+    partition.kind = Request::Kind::kPartition;
+    partition.partition.model_set = "hybrid";
+    partition.partition.n = 512;
+    partition.partition.algorithm = Algorithm::kCpm;
+    requests.push_back(partition);
+
+    Request nolayout = partition;
+    nolayout.partition.with_layout = false;
+    nolayout.partition.algorithm = Algorithm::kEven;
+    requests.push_back(nolayout);
+
+    for (const Request& request : requests) {
+        const std::string line = request.encode();
+        const Request decoded = Request::decode(line);
+        EXPECT_EQ(decoded.kind, request.kind) << line;
+        EXPECT_EQ(decoded.encode(), line) << line;
+    }
+}
+
+TEST(ProtocolRequest, RejectsMalformedLines) {
+    const std::vector<std::string> bad = {
+        "",
+        "   ",
+        "BOGUS",
+        "PING extra",
+        "QUIT now",
+        "STATS verbose",
+        "HEALTH deep",
+        "MODELS all",
+        "LOAD onlyname",
+        "LOAD name path extra",
+        "PARTITION",
+        "PARTITION set",
+        "PARTITION set 10",
+        "PARTITION set 10 wat",
+        "PARTITION set abc fpm",
+        "PARTITION set 0 fpm",
+        "PARTITION set -5 fpm",
+        "PARTITION set 10 fpm badopt",
+        "PARTITION set 10 fpm nolayout extra",
+        "partition set 10 fpm",  // verbs are case-sensitive
+    };
+    for (const std::string& line : bad) {
+        EXPECT_FALSE(request_decodes(line)) << "accepted: " << line;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response round trips
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolResponse, ErrorRoundTrips) {
+    const Response error = Response::make_error("it\nbroke\rbadly");
+    const std::string line = error.encode();
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const Response decoded = Response::decode(line);
+    EXPECT_EQ(decoded.kind, Response::Kind::kError);
+    EXPECT_EQ(decoded.error, "it broke badly");
+}
+
+TEST(ProtocolResponse, PongByeRoundTrip) {
+    Response pong;
+    pong.kind = Response::Kind::kPong;
+    pong.version = kProtocolVersion;
+    const Response decoded_pong = Response::decode(pong.encode());
+    EXPECT_EQ(decoded_pong.kind, Response::Kind::kPong);
+    EXPECT_EQ(decoded_pong.version, kProtocolVersion);
+
+    Response bye;
+    bye.kind = Response::Kind::kBye;
+    EXPECT_EQ(Response::decode(bye.encode()).kind, Response::Kind::kBye);
+}
+
+TEST(ProtocolResponse, LoadedRoundTrips) {
+    Response loaded;
+    loaded.kind = Response::Kind::kLoaded;
+    loaded.loaded.name = "hybrid";
+    loaded.loaded.models = 5;
+    loaded.loaded.generation = 12;
+    loaded.loaded.fingerprint = 0xdeadbeefcafef00dULL;
+    const Response decoded = Response::decode(loaded.encode());
+    EXPECT_EQ(decoded.kind, Response::Kind::kLoaded);
+    EXPECT_EQ(decoded.loaded.name, "hybrid");
+    EXPECT_EQ(decoded.loaded.models, 5u);
+    EXPECT_EQ(decoded.loaded.generation, 12u);
+    EXPECT_EQ(decoded.loaded.fingerprint, 0xdeadbeefcafef00dULL);
+}
+
+TEST(ProtocolResponse, ModelsRoundTripsEmptyAndFull) {
+    Response empty;
+    empty.kind = Response::Kind::kModels;
+    const Response decoded_empty = Response::decode(empty.encode());
+    EXPECT_EQ(decoded_empty.kind, Response::Kind::kModels);
+    EXPECT_TRUE(decoded_empty.sets.empty());
+
+    Response full;
+    full.kind = Response::Kind::kModels;
+    full.sets = {ModelSetInfo{"cpu", 1, 2}, ModelSetInfo{"hybrid", 9, 4}};
+    const Response decoded = Response::decode(full.encode());
+    ASSERT_EQ(decoded.sets.size(), 2u);
+    EXPECT_EQ(decoded.sets[0].name, "cpu");
+    EXPECT_EQ(decoded.sets[1].generation, 9u);
+    EXPECT_EQ(decoded.sets[1].models, 4u);
+}
+
+TEST(ProtocolResponse, StatsRoundTrips) {
+    Response stats;
+    stats.kind = Response::Kind::kStats;
+    stats.stats = {{"requests", "10"}, {"q2r_p50_us", "1.5"}, {"empty", ""}};
+    const Response decoded = Response::decode(stats.encode());
+    ASSERT_EQ(decoded.stats.size(), 3u);
+    EXPECT_EQ(decoded.stats[0].name, "requests");
+    EXPECT_EQ(decoded.stats[0].value, "10");
+    EXPECT_EQ(decoded.stats[2].value, "");
+}
+
+TEST(ProtocolResponse, HealthRoundTrips) {
+    Response health;
+    health.kind = Response::Kind::kHealth;
+    health.health.live = true;
+    health.health.ready = false;
+    health.health.models = 0;
+    health.health.faults_injected = 42;
+    health.health.degraded = 7;
+    const Response decoded = Response::decode(health.encode());
+    EXPECT_EQ(decoded.kind, Response::Kind::kHealth);
+    EXPECT_TRUE(decoded.health.live);
+    EXPECT_FALSE(decoded.health.ready);
+    EXPECT_EQ(decoded.health.models, 0u);
+    EXPECT_EQ(decoded.health.faults_injected, 42u);
+    EXPECT_EQ(decoded.health.degraded, 7u);
+}
+
+TEST(ProtocolResponse, PartitionRoundTripsAllFlagCombinations) {
+    for (const bool degraded : {false, true}) {
+        for (const bool with_rects : {false, true}) {
+            Response response;
+            response.kind = Response::Kind::kPartition;
+            response.partition = sample_partition_reply(degraded, with_rects);
+            const std::string line = response.encode();
+            const Response decoded = Response::decode(line);
+            ASSERT_EQ(decoded.kind, Response::Kind::kPartition) << line;
+            const PartitionReply& parsed = decoded.partition;
+            EXPECT_EQ(parsed.model, "hybrid");
+            EXPECT_EQ(parsed.generation, 7u);
+            EXPECT_EQ(parsed.n, 640);
+            EXPECT_EQ(parsed.algorithm, Algorithm::kFpm);
+            EXPECT_TRUE(parsed.cached);
+            EXPECT_FALSE(parsed.coalesced);
+            EXPECT_EQ(parsed.degraded, degraded);
+            // %.17g framing must round-trip doubles bit-for-bit.
+            EXPECT_EQ(parsed.balanced_time, 0.12345678901234567);
+            EXPECT_EQ(parsed.makespan, 1e-9);
+            EXPECT_EQ(parsed.comm_cost, 4242);
+            EXPECT_EQ(parsed.blocks,
+                      (std::vector<std::int64_t>{100, 250, 290}));
+            EXPECT_EQ(parsed.rects.size(), with_rects ? 3u : 0u);
+            // Re-encoding the decode is the identity on the wire.
+            Response again;
+            again.kind = Response::Kind::kPartition;
+            again.partition = parsed;
+            EXPECT_EQ(again.encode(), line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truncation, garbage and oversized payloads
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolFuzz, EveryPrefixOfValidEncodingsIsHandled) {
+    std::vector<std::string> lines;
+    Request partition;
+    partition.kind = Request::Kind::kPartition;
+    partition.partition.model_set = "hybrid";
+    partition.partition.n = 512;
+    lines.push_back(partition.encode());
+    Request load;
+    load.kind = Request::Kind::kLoad;
+    load.name = "a";
+    load.path = "/p";
+    lines.push_back(load.encode());
+
+    for (const std::string& line : lines) {
+        for (std::size_t cut = 0; cut < line.size(); ++cut) {
+            (void)request_decodes(line.substr(0, cut));  // must not crash
+        }
+    }
+
+    std::vector<std::string> replies;
+    Response part_reply;
+    part_reply.kind = Response::Kind::kPartition;
+    part_reply.partition = sample_partition_reply(true, true);
+    replies.push_back(part_reply.encode());
+    Response health;
+    health.kind = Response::Kind::kHealth;
+    replies.push_back(health.encode());
+    Response loaded;
+    loaded.kind = Response::Kind::kLoaded;
+    loaded.loaded.name = "x";
+    replies.push_back(loaded.encode());
+    Response models;
+    models.kind = Response::Kind::kModels;
+    models.sets = {ModelSetInfo{"cpu", 1, 2}};
+    replies.push_back(models.encode());
+    replies.push_back("OK PONG v3");
+    replies.push_back("OK STATS a=1 b=2");
+
+    for (const std::string& line : replies) {
+        EXPECT_TRUE(response_decodes(line)) << line;
+        for (std::size_t cut = 0; cut < line.size(); ++cut) {
+            (void)response_decodes(line.substr(0, cut));  // must not crash
+        }
+    }
+}
+
+TEST(ProtocolFuzz, GarbageNeverEscapesAsNonError) {
+    Rng rng(0xfadedfacadeULL);
+    const std::string alphabet =
+        "OK ERR PARTITION=|,:-0123456789abcdefghijklmnopqrstuvwxyz \t\x01\x7f";
+    for (int i = 0; i < 2000; ++i) {
+        std::string line;
+        const int length = static_cast<int>(rng.uniform_int(0, 120));
+        for (int j = 0; j < length; ++j) {
+            line += alphabet[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+        }
+        (void)request_decodes(line);   // fpm::Error or success, never a crash
+        (void)response_decodes(line);
+    }
+}
+
+TEST(ProtocolFuzz, MutatedPartitionRepliesAreHandled) {
+    Response response;
+    response.kind = Response::Kind::kPartition;
+    response.partition = sample_partition_reply(false, true);
+    const std::string line = response.encode();
+
+    Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        std::string mutated = line;
+        const std::size_t pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+        mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        (void)response_decodes(mutated);  // must not crash
+    }
+}
+
+TEST(ProtocolFuzz, OversizedPayloadsRoundTripOrError) {
+    // A huge (but well-formed) block list round-trips intact.
+    Response big;
+    big.kind = Response::Kind::kPartition;
+    big.partition = sample_partition_reply(false, false);
+    big.partition.blocks.assign(10'000, 1);
+    const Response decoded = Response::decode(big.encode());
+    EXPECT_EQ(decoded.partition.blocks.size(), 10'000u);
+
+    // Numeric overflow in a reply field is an error, not UB.
+    EXPECT_FALSE(response_decodes(
+        "OK PARTITION model=m gen=1 n=999999999999999999999999999 algo=fpm "
+        "cached=0 coalesced=0 degraded=0 balanced=1 makespan=1 comm=1 "
+        "blocks=1 layout=-"));
+
+    // An absurdly long single token must not blow up the tokenizer.
+    EXPECT_FALSE(request_decodes(std::string(1 << 16, 'A')));
+}
+
+TEST(ProtocolFuzz, WrongArityRepliesAreErrors) {
+    const std::vector<std::string> bad = {
+        "OK",
+        "OK WHAT",
+        "OK PONG",
+        "OK PONG 3",        // missing the 'v'
+        "OK BYE now",
+        "OK LOADED name=x models=1 gen=1",              // missing fingerprint
+        "OK MODELS count=2 sets=cpu:1:2",               // count mismatch
+        "OK HEALTH live=1 ready=1 models=1 faults=0",   // missing degraded
+        "OK HEALTH live=1 ready=1 models=1 faults=0 degraded=0 extra=1",
+        "OK PARTITION model=m gen=1 n=4 algo=fpm cached=0 coalesced=0 "
+        "balanced=1 makespan=1 comm=1 blocks=1 layout=-",  // v2-era: no degraded
+        "OK STATS novalue",
+    };
+    for (const std::string& line : bad) {
+        EXPECT_FALSE(response_decodes(line)) << "accepted: " << line;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolFingerprint, StableAndDiscriminating) {
+    Request a;
+    a.kind = Request::Kind::kPartition;
+    a.partition.model_set = "hybrid";
+    a.partition.n = 512;
+    Request b = a;
+    EXPECT_EQ(request_fingerprint(a), request_fingerprint(b));
+
+    b.partition.n = 513;
+    EXPECT_NE(request_fingerprint(a), request_fingerprint(b));
+
+    Request ping;
+    EXPECT_NE(request_fingerprint(a), request_fingerprint(ping));
+}
+
+} // namespace

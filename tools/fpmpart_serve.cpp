@@ -9,7 +9,12 @@
 //   LOAD <name> <path>                      hot-(re)load a model set
 //   PARTITION <model> <n> <algo> [nolayout] partition an n x n workload
 //   MODELS / STATS                          registry, cache and reactor counters
+//   HEALTH                                  readiness + fault/degraded counters
 //   QUIT                                    close this connection
+//
+// Fault drills: set FPMPART_FAULTS (see docs/operations.md) before
+// launch to arm deterministic injection points; the armed rule count is
+// printed on startup.
 //
 // Usage:
 //   fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]
@@ -24,6 +29,7 @@
 #include <cstdio>
 #include <string>
 
+#include "fpm/fault/fault.hpp"
 #include "fpm/serve/server.hpp"
 #include "tool_args.hpp"
 
@@ -88,6 +94,19 @@ int main(int argc, char** argv) {
             std::printf("loaded model set '%s': %zu model(s), generation %llu\n",
                         set->name.c_str(), set->models.size(),
                         static_cast<unsigned long long>(set->generation));
+        }
+
+        // stats() touches the fault registry, which installs any
+        // FPMPART_FAULTS plan on first use; enabled() alone would not.
+        const auto fault_points = fault::stats();
+        if (fault::enabled()) {
+            std::size_t armed = 0;
+            for (const auto& point : fault_points) {
+                armed += point.rate > 0.0 ? 1 : 0;
+            }
+            std::printf("fault injection armed: %zu rule(s) from "
+                        "FPMPART_FAULTS\n",
+                        armed);
         }
 
         serve::RequestEngine::Options engine_options;
