@@ -1,0 +1,178 @@
+// google-benchmark micro-benchmarks of the online adaptation loop
+// (fpm::adapt): feedback ingest throughput, the cost of one reliable
+// window's refine+splice, the end-to-end FEEDBACK wire round trip, and
+// the hot-path guard — PARTITION latency with the feedback handler
+// installed vs absent, and with concurrent feedback traffic hammering
+// the adaptation lock.  The acceptance budget is that feedback routing
+// costs the PARTITION path nothing measurable (< 2% on the cached
+// round trip), since the partition path never touches adapt state.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fpm/adapt/engine.hpp"
+#include "fpm/adapt/feedback.hpp"
+#include "fpm/adapt/refiner.hpp"
+#include "fpm/serve/client.hpp"
+#include "fpm/serve/model_registry.hpp"
+#include "fpm/serve/request_engine.hpp"
+#include "fpm/serve/server.hpp"
+
+namespace {
+
+using fpm::core::SpeedFunction;
+using fpm::core::SpeedPoint;
+using namespace fpm::adapt;
+using namespace fpm::serve;
+
+std::vector<SpeedFunction> synthetic_models(std::size_t devices,
+                                            std::size_t points_per_model) {
+    std::vector<SpeedFunction> models;
+    for (std::size_t d = 0; d < devices; ++d) {
+        std::vector<SpeedPoint> points;
+        const double peak = 50.0 + 20.0 * static_cast<double>(d);
+        for (std::size_t p = 0; p < points_per_model; ++p) {
+            const double x =
+                4.0 + 6000.0 * static_cast<double>(p) /
+                          static_cast<double>(points_per_model - 1);
+            points.push_back(SpeedPoint{x, peak * x / (x + 20.0)});
+        }
+        models.emplace_back(std::move(points), "dev" + std::to_string(d));
+    }
+    return models;
+}
+
+struct AdaptFixture {
+    ModelRegistry registry;
+    RequestEngine engine;
+
+    AdaptFixture() : engine(registry, {.workers = 4, .cache_capacity = 4096}) {
+        registry.put("hybrid", synthetic_models(4, 48));
+    }
+};
+
+AdaptFixture& fixture() {
+    static AdaptFixture instance;
+    return instance;
+}
+
+/// A sample near the model prediction: it accumulates evidence but
+/// (deadband) rarely forces a splice, so the bench isolates ingest cost.
+FeedbackSample on_model_sample(const ModelRegistry& registry,
+                               std::int64_t device, double x) {
+    const auto set = registry.get("hybrid");
+    const double seconds =
+        x / set->models[static_cast<std::size_t>(device)].speed(x);
+    return {"hybrid", device, x, seconds};
+}
+
+// Pure ingest throughput: Welford update + bucket bookkeeping per
+// sample, with reliable windows consumed as they complete.
+void BM_AdaptIngest(benchmark::State& state) {
+    auto& f = fixture();
+    AdaptConfig config;
+    config.drift_threshold = 1e9;  // never republish: isolate ingest
+    AdaptEngine adapter(f.engine, config);
+    const auto sample = on_model_sample(f.registry, 0, 1024.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(adapter.ingest(sample));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptIngest);
+
+// One refine step: model prediction, clamp, splice into a fresh
+// SpeedFunction — the latency a reliable window adds over plain ingest.
+void BM_AdaptRefineSplice(benchmark::State& state) {
+    AdaptConfig config;
+    config.min_speed_change = 0.0;  // always splice
+    const OnlineRefiner refiner(config);
+    auto models = synthetic_models(1, 48);
+    double wobble = 1.02;
+    for (auto _ : state) {
+        wobble = wobble > 1.0 ? 0.98 : 1.02;  // alternate around the model
+        const double observed = models[0].speed(1024.0) * wobble;
+        benchmark::DoNotOptimize(
+            refiner.refine(models, 0, 1024.0, observed));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptRefineSplice);
+
+// Full FEEDBACK wire round trip: encode, reactor dispatch off the
+// event loop, ingest on a pool worker, typed reply.
+void BM_SocketFeedbackRoundTrip(benchmark::State& state) {
+    auto& f = fixture();
+    AdaptConfig config;
+    config.drift_threshold = 1e9;
+    AdaptEngine adapter(f.engine, config);
+    SocketServer server(f.engine);
+    server.start();
+    {
+        ServeClient client("127.0.0.1", server.port());
+        const auto sample = on_model_sample(f.registry, 1, 2048.0);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(client.report_feedback(sample));
+        }
+    }
+    server.stop();
+}
+BENCHMARK(BM_SocketFeedbackRoundTrip);
+
+// Hot-path guard, structural half: the cached PARTITION round trip with
+// no feedback handler installed (the pre-adapt baseline)...
+void BM_SocketPartitionNoFeedback(benchmark::State& state) {
+    auto& f = fixture();
+    SocketServer server(f.engine);
+    server.start();
+    {
+        ServeClient client("127.0.0.1", server.port());
+        for (auto _ : state) {
+            const auto reply =
+                client.partition({"hybrid", 52, Algorithm::kFpm, true});
+            benchmark::DoNotOptimize(reply.blocks.data());
+        }
+    }
+    server.stop();
+}
+BENCHMARK(BM_SocketPartitionNoFeedback);
+
+// ...vs the same round trip with the adaptation layer installed AND a
+// background connection streaming feedback the whole time.  Comparing
+// these two is the < 2% acceptance check: the PARTITION path shares
+// only the rt pool with feedback, never the adapt mutex.
+void BM_SocketPartitionUnderFeedback(benchmark::State& state) {
+    auto& f = fixture();
+    AdaptConfig config;
+    config.drift_threshold = 1e9;
+    AdaptEngine adapter(f.engine, config);
+    SocketServer server(f.engine);
+    server.start();
+    std::atomic<bool> stop{false};
+    std::thread feeder([&] {
+        ServeClient noisy("127.0.0.1", server.port());
+        const auto sample = on_model_sample(f.registry, 2, 4096.0);
+        while (!stop.load(std::memory_order_relaxed)) {
+            noisy.report_feedback(sample);
+        }
+    });
+    {
+        ServeClient client("127.0.0.1", server.port());
+        for (auto _ : state) {
+            const auto reply =
+                client.partition({"hybrid", 52, Algorithm::kFpm, true});
+            benchmark::DoNotOptimize(reply.blocks.data());
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    feeder.join();
+    server.stop();
+}
+BENCHMARK(BM_SocketPartitionUnderFeedback);
+
+} // namespace
+
+BENCHMARK_MAIN();

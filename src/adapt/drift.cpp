@@ -1,0 +1,34 @@
+#include "fpm/adapt/drift.hpp"
+
+#include <algorithm>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::adapt {
+
+DriftDetector::DriftDetector(const AdaptConfig& config) : config_(config) {
+    FPM_CHECK(config.drift_threshold > 0.0,
+              "drift_threshold must be positive");
+    FPM_CHECK(config.cusum_limit > 0.0, "cusum_limit must be positive");
+}
+
+DriftDecision DriftDetector::observe(std::int64_t device,
+                                     double relative_error) {
+    FPM_CHECK(relative_error >= 0.0, "relative error must be non-negative");
+    double& s = cusum_[device];
+    s = std::max(0.0, s + (relative_error - config_.drift_threshold));
+    DriftDecision decision;
+    decision.drift = relative_error > config_.drift_threshold;
+    decision.republish = s >= config_.cusum_limit;
+    decision.cusum = s;
+    return decision;
+}
+
+void DriftDetector::reset() { cusum_.clear(); }
+
+double DriftDetector::cusum(std::int64_t device) const {
+    const auto it = cusum_.find(device);
+    return it == cusum_.end() ? 0.0 : it->second;
+}
+
+} // namespace fpm::adapt

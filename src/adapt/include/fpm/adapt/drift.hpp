@@ -1,0 +1,49 @@
+/// \file drift.hpp
+/// \brief Decides when refinement warrants republishing a model.
+///
+/// A single reliable window disagreeing with the model is weather; a
+/// run of them is climate.  The detector combines a per-window relative
+/// -error threshold (instantaneous drift signal) with a per-device CUSUM
+/// of the excess error over consecutive reliable windows: the cumulative
+/// sum s := max(0, s + (err - threshold)) rises only while windows keep
+/// exceeding the threshold and decays back to zero when the model fits
+/// again, so a republish fires on *sustained* disagreement rather than
+/// one noisy measurement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "fpm/adapt/adapt_config.hpp"
+
+namespace fpm::adapt {
+
+/// Outcome of one reliable-window observation.
+struct DriftDecision {
+    bool drift = false;      ///< this window exceeded drift_threshold
+    bool republish = false;  ///< CUSUM crossed cusum_limit
+    double cusum = 0.0;      ///< accumulator after this observation
+};
+
+/// See file comment.  Not thread-safe: AdaptEngine serialises access.
+class DriftDetector {
+public:
+    /// Throws fpm::Error for non-positive threshold or limit.
+    explicit DriftDetector(const AdaptConfig& config);
+
+    /// Feeds the relative model error of one reliable window for
+    /// `device` (err = |observed - predicted| / predicted, >= 0).
+    DriftDecision observe(std::int64_t device, double relative_error);
+
+    /// Clears every accumulator — called after a successful republish
+    /// (the new model is the baseline) or a hot reload.
+    void reset();
+
+    [[nodiscard]] double cusum(std::int64_t device) const;
+
+private:
+    AdaptConfig config_;
+    std::map<std::int64_t, double> cusum_;
+};
+
+} // namespace fpm::adapt

@@ -1,0 +1,44 @@
+/// \file publisher.hpp
+/// \brief Atomic hot-publish of a refined model set.
+///
+/// Publishing is the commit point of the adaptation loop: the working
+/// models (registry snapshot + applied refinements) become the new
+/// immutable registry snapshot in one ModelRegistry::put, and every
+/// cached answer derived from the *previous* content is invalidated —
+/// plan-cache entries by old fingerprint and the reload-surviving
+/// stale-plan entries by set name — via RequestEngine::invalidate_model.
+/// In-flight requests holding the old snapshot keep it alive; new
+/// requests see only the new version.  The `adapt.publish` fault point
+/// fires before the registry swap, so an injected failure leaves the
+/// previous version fully intact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpm/core/speed_function.hpp"
+#include "fpm/serve/model_registry.hpp"
+#include "fpm/serve/request_engine.hpp"
+
+namespace fpm::adapt {
+
+/// See file comment.  Stateless; thread-safe given the engine is.
+class ModelPublisher {
+public:
+    explicit ModelPublisher(serve::RequestEngine& engine) : engine_(engine) {}
+
+    /// Replaces set `name` with `models`, invalidates plans computed
+    /// from `old_fingerprint`, and returns the new snapshot.  Throws
+    /// fpm::Error (without touching the registry) when the adapt.publish
+    /// fault point fires.
+    std::shared_ptr<const serve::ModelSet>
+    publish(const std::string& name, std::vector<core::SpeedFunction> models,
+            std::uint64_t old_fingerprint);
+
+private:
+    serve::RequestEngine& engine_;
+};
+
+} // namespace fpm::adapt

@@ -1,0 +1,21 @@
+#include "fpm/adapt/publisher.hpp"
+
+#include "fpm/common/error.hpp"
+#include "fpm/fault/fault.hpp"
+
+namespace fpm::adapt {
+
+std::shared_ptr<const serve::ModelSet>
+ModelPublisher::publish(const std::string& name,
+                        std::vector<core::SpeedFunction> models,
+                        std::uint64_t old_fingerprint) {
+    static auto& publish_fault = fault::point("adapt.publish");
+    if (publish_fault.fire()) {
+        throw Error("injected fault: adapt.publish");
+    }
+    auto snapshot = engine_.registry().put(name, std::move(models));
+    engine_.invalidate_model(name, old_fingerprint);
+    return snapshot;
+}
+
+} // namespace fpm::adapt

@@ -70,6 +70,15 @@ public:
     /// the model.
     [[nodiscard]] SpeedFunction scaled(double factor) const;
 
+    /// A copy with the measured point (x, speed) spliced in: existing
+    /// points within `merge_radius_rel * x` of x are replaced by the new
+    /// point, everything else is kept, and the result is revalidated
+    /// (strictly increasing positive x, positive speeds) — the
+    /// monotone-interpolation safety check of the online refiner.  Throws
+    /// for x <= 0, x > max_problem(), speed <= 0 or a negative radius.
+    [[nodiscard]] SpeedFunction spliced(double x, double speed,
+                                        double merge_radius_rel = 0.1) const;
+
 private:
     std::vector<SpeedPoint> points_;
     std::string name_;

@@ -75,6 +75,29 @@ SpeedFunction SpeedFunction::scaled(double factor) const {
     return SpeedFunction(std::move(scaled_points), name_, max_problem_);
 }
 
+SpeedFunction SpeedFunction::spliced(double x, double speed,
+                                     double merge_radius_rel) const {
+    FPM_CHECK(x > 0.0, "spliced point needs positive x");
+    FPM_CHECK(x <= max_problem_ * (1.0 + 1e-12),
+              "spliced point exceeds the device's maximum");
+    FPM_CHECK(speed > 0.0, "spliced point needs positive speed");
+    FPM_CHECK(merge_radius_rel >= 0.0, "merge radius must be non-negative");
+
+    const double radius = merge_radius_rel * x;
+    std::vector<SpeedPoint> merged;
+    merged.reserve(points_.size() + 1);
+    for (const SpeedPoint& point : points_) {
+        if (std::abs(point.x - x) > radius) {
+            merged.push_back(point);
+        }
+    }
+    merged.push_back(SpeedPoint{x, speed});
+    // The constructor re-sorts and enforces strictly increasing positive
+    // x and positive speeds, so a degenerate merge cannot produce an
+    // ill-formed interpolant.
+    return SpeedFunction(std::move(merged), name_, max_problem_);
+}
+
 MonotoneTime::MonotoneTime(const SpeedFunction& fn, std::size_t samples_per_segment) {
     FPM_CHECK(!fn.empty(), "cannot build MonotoneTime from an empty function");
     FPM_CHECK(samples_per_segment >= 1, "need at least one sample per segment");

@@ -30,6 +30,16 @@ struct ReliableResult {
     bool converged = false;
 };
 
+/// The acceptance criterion shared by the measurement loop below and the
+/// online adaptation path (fpm::adapt ingests served-execution samples
+/// against the same statistical bar): a summary is reliable once it has
+/// at least `min_repetitions` observations and its 95 % CI half-width is
+/// within `target_relative_error` of the mean.  A single observation is
+/// accepted only under a single-repetition policy (min_repetitions == 1),
+/// since no CI can be formed from one sample.
+[[nodiscard]] bool is_reliable(const Summary& summary,
+                               const ReliabilityOptions& options);
+
 /// Repeatedly invokes `sample` (which returns one timing in seconds) until
 /// the relative confidence-interval target is met.  Throws fpm::Error if
 /// options are inconsistent or `sample` returns a non-positive value.

@@ -5,6 +5,16 @@
 
 namespace fpm::measure {
 
+bool is_reliable(const Summary& summary, const ReliabilityOptions& options) {
+    if (summary.count < options.min_repetitions) {
+        return false;
+    }
+    // A single-repetition policy (min_repetitions == 1) accepts the first
+    // sample: no CI can be formed from one observation.
+    return summary.count == 1 ||
+           summary.relative_error() <= options.target_relative_error;
+}
+
 ReliableResult measure_until_reliable(const std::function<double()>& sample,
                                       const ReliabilityOptions& options) {
     FPM_CHECK(static_cast<bool>(sample), "sample callback must be callable");
@@ -24,16 +34,11 @@ ReliableResult measure_until_reliable(const std::function<double()>& sample,
         FPM_CHECK(t > 0.0, "sample returned a non-positive timing");
         stats.add(t);
 
-        if (stats.count() >= options.min_repetitions) {
-            const Summary s = stats.summary();
-            // A single-repetition policy (min_repetitions == 1) accepts the
-            // first sample: no CI can be formed from one observation.
-            if (stats.count() == 1 ||
-                s.relative_error() <= options.target_relative_error) {
-                result.summary = s;
-                result.converged = true;
-                return result;
-            }
+        const Summary s = stats.summary();
+        if (is_reliable(s, options)) {
+            result.summary = s;
+            result.converged = true;
+            return result;
         }
         if (budget.elapsed() > options.max_total_seconds) {
             break;

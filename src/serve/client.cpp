@@ -323,6 +323,29 @@ PartitionReply ServeClient::partition(const PartitionRequest& req) {
     return response.partition;
 }
 
+FeedbackReply ServeClient::report_feedback(const FeedbackSample& sample) {
+    Request wire;
+    wire.kind = Request::Kind::kFeedback;
+    wire.feedback = sample;
+    const Response response = call(wire);
+    if (response.kind == Response::Kind::kError) {
+        // A pre-v4 server does not know the verb and answers the
+        // generic parse error; translate it into a typed unsupported-verb
+        // failure so callers can tell "talk to a newer server" apart
+        // from "the sample was rejected".
+        if (response.error.rfind("unknown command", 0) == 0) {
+            throw Error(
+                "unsupported verb: FEEDBACK requires protocol v" +
+                std::to_string(kProtocolVersion) +
+                " (server answered \"ERR " + response.error + "\")");
+        }
+        throw Error("server error: " + response.error);
+    }
+    FPM_CHECK(response.kind == Response::Kind::kFeedback,
+              "malformed FEEDBACK reply");
+    return response.feedback;
+}
+
 void ServeClient::ping() {
     const std::string raw = request(Request{}.encode());  // kPing default
     const Response response = Response::decode(raw);

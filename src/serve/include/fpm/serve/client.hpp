@@ -98,6 +98,14 @@ public:
     /// the server answers ERR.
     PartitionReply partition(const PartitionRequest& req);
 
+    /// FEEDBACK round trip: reports one served-execution measurement and
+    /// returns what the server's adaptation layer did with it.  Throws
+    /// fpm::Error when the server answers ERR; a pre-v4 server (which
+    /// does not know the verb and answers `ERR unknown command`) is
+    /// surfaced as a clean typed unsupported-verb error, never as a
+    /// transport/truncation failure.
+    FeedbackReply report_feedback(const FeedbackSample& sample);
+
     /// PING round trip; throws fpm::Error unless the server answers a
     /// PONG carrying exactly kProtocolVersion — a mismatched revision is
     /// reported as a protocol version error, not silently tolerated.

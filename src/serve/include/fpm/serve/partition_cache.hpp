@@ -70,6 +70,14 @@ public:
     /// entry when full.
     void put(const PlanKey& key, std::shared_ptr<const PartitionPlan> plan);
 
+    /// Drops every entry whose key carries `fingerprint`, regardless of
+    /// (n, algorithm, layout); returns the number removed.  Model
+    /// republication calls this so a refined model can never serve a plan
+    /// fingerprinted against the old speed function — LRU aging alone
+    /// would let such entries linger (and the stale-plan cache, keyed on
+    /// a name hash, would never age them at all).
+    std::size_t erase_fingerprint(std::uint64_t fingerprint);
+
     [[nodiscard]] CacheStats stats() const;
     void clear();
 

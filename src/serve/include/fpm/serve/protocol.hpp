@@ -10,6 +10,7 @@
 ///     PING                                    -> OK PONG v<version>
 ///     LOAD <name> <path>                      -> OK LOADED ...
 ///     PARTITION <model> <n> <algo> [nolayout] -> OK PARTITION ...
+///     FEEDBACK <model> <dev> <x> <seconds>    -> OK FEEDBACK ...
 ///     MODELS                                  -> OK MODELS ...
 ///     STATS                                   -> OK STATS ...
 ///     HEALTH                                  -> OK HEALTH ...
@@ -34,22 +35,27 @@
 
 namespace fpm::serve {
 
-/// Wire protocol revision.  v3: typed messages, the reactor's STATS
-/// fields (connection gauges, queue-to-reply quantiles), the HEALTH
-/// request and the PARTITION `degraded=` flag.  Clients must refuse to
-/// talk to a server announcing a different revision
-/// (ServeClient::ping enforces this).
-inline constexpr int kProtocolVersion = 3;
+/// Wire protocol revision.  v4 adds the FEEDBACK verb (online model
+/// refinement) and the adapt_* STATS fields; v3 introduced typed
+/// messages, the reactor's STATS fields (connection gauges,
+/// queue-to-reply quantiles), the HEALTH request and the PARTITION
+/// `degraded=` flag.  Clients must refuse to talk to a server announcing
+/// a different revision (ServeClient::ping enforces this); a v4 client
+/// sending FEEDBACK to a v3 server receives the v3 `ERR unknown
+/// command` reply, which ServeClient::report_feedback surfaces as a
+/// typed unsupported-verb error.
+inline constexpr int kProtocolVersion = 4;
 
 /// A request message.  decode() parses a wire line (throws fpm::Error
 /// with a client-safe message on unknown verbs, arity errors or
 /// malformed numbers); encode() renders the line the client sends.
 struct Request {
-    enum class Kind { kPing, kLoad, kPartition, kModels, kStats, kHealth,
-                      kQuit };
+    enum class Kind { kPing, kLoad, kPartition, kFeedback, kModels, kStats,
+                      kHealth, kQuit };
 
     Kind kind = Kind::kPing;
     PartitionRequest partition;  ///< kPartition
+    FeedbackSample feedback;     ///< kFeedback
     std::string name;            ///< kLoad: registry name
     std::string path;            ///< kLoad: model CSV path
 
@@ -114,7 +120,7 @@ struct StatField {
 /// fpm::Error on structurally malformed replies.
 struct Response {
     enum class Kind { kError, kPong, kBye, kLoaded, kModels, kStats,
-                      kHealth, kPartition };
+                      kHealth, kPartition, kFeedback };
 
     Kind kind = Kind::kError;
     std::string error;                 ///< kError
@@ -124,6 +130,7 @@ struct Response {
     std::vector<StatField> stats;      ///< kStats
     HealthReply health;                ///< kHealth
     PartitionReply partition;          ///< kPartition
+    FeedbackReply feedback;            ///< kFeedback
 
     [[nodiscard]] std::string encode() const;
     [[nodiscard]] static Response decode(const std::string& line);
@@ -137,17 +144,19 @@ make_partition_reply(const PartitionRequest& request,
                      const PartitionResponse& response);
 
 /// Builds the STATS response: engine counters, cache, per-algorithm
-/// latency quantiles, plus the reactor's gauges/counters and the
-/// queue-to-reply quantiles read from the process-global
-/// obs::MetricsRegistry (zero when no server ran yet).
+/// latency quantiles, plus the reactor's gauges/counters, the
+/// queue-to-reply quantiles and the adaptation counters (adapt_*), all
+/// read from the process-global obs::MetricsRegistry (zero when no
+/// server/adapter ran yet).
 [[nodiscard]] Response make_stats_reply(const EngineStats& stats,
                                         std::size_t model_count);
 
 /// Executes one decoded request against the engine (and its registry)
 /// and returns the typed response; never throws — failures become
-/// kError.  PARTITION runs synchronously on the calling thread; the
-/// reactor handles kPartition itself (asynchronously) and uses this for
-/// everything else.
+/// kError.  PARTITION and FEEDBACK run synchronously on the calling
+/// thread; the reactor handles kPartition/kFeedback itself
+/// (asynchronously, off the event loop) and uses this for everything
+/// else.
 [[nodiscard]] Response handle_request(RequestEngine& engine,
                                       const Request& request);
 

@@ -56,6 +56,28 @@ struct PartitionRequest {
     bool with_layout = true;
 };
 
+/// One served-execution measurement reported back by a client: device
+/// `device` of set `model_set` finished a workload of `problem_size`
+/// blocks in `seconds`.  The adaptation layer (fpm::adapt) folds these
+/// into the speed functions; the engine itself only routes them.
+struct FeedbackSample {
+    std::string model_set;
+    std::int64_t device = 0;
+    double problem_size = 0.0;  ///< matrix area in blocks (the FPM's x)
+    double seconds = 0.0;       ///< measured wall-clock execution time
+};
+
+/// What the adaptation layer did with one sample, echoed to the client.
+struct FeedbackReply {
+    std::string model_set;
+    std::int64_t device = 0;
+    std::uint64_t samples = 0;    ///< bucket sample count after ingest
+    bool reliable = false;        ///< the bucket met the CI criterion
+    bool drift = false;           ///< drift detected on this window
+    bool republished = false;     ///< a refined model version was published
+    std::uint64_t version = 0;    ///< current registry generation of the set
+};
+
 /// The answer plus how it was served.
 struct PartitionResponse {
     std::shared_ptr<const PartitionPlan> plan;
@@ -135,6 +157,48 @@ public:
     [[nodiscard]] std::optional<PartitionResponse>
     try_execute_cached(const PartitionRequest& request);
 
+    /// Handles one feedback sample; installed by the adaptation layer.
+    /// Throws to reject the sample (the message travels as `ERR ...`).
+    using FeedbackHandler = std::function<FeedbackReply(const FeedbackSample&)>;
+
+    /// Installs (or, with an empty function, removes) the feedback
+    /// handler.  The engine never interprets samples itself — without a
+    /// handler FEEDBACK answers `ERR feedback not enabled` — so the
+    /// serve layer stays free of any dependency on fpm::adapt.  The
+    /// handler must stay callable until it is replaced and all in-flight
+    /// feedback drains (see ~AdaptEngine).
+    void set_feedback_handler(FeedbackHandler handler);
+
+    [[nodiscard]] bool feedback_enabled() const;
+
+    /// Runs the installed handler on the calling thread.  Throws
+    /// fpm::Error when feedback is not enabled or the handler rejects
+    /// the sample.
+    FeedbackReply execute_feedback(const FeedbackSample& sample);
+
+    /// Outcome of an asynchronous feedback execution, mirroring
+    /// AsyncResult: exactly one of `reply` or `error` is meaningful.
+    struct FeedbackAsyncResult {
+        FeedbackReply reply;
+        std::string error;
+        [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+    };
+
+    /// Schedules execute_feedback() on the engine's thread pool — the
+    /// off-hot-path routing the reactor uses, so ingest/refine/publish
+    /// work never runs on the event loop.  Same lifetime rules as
+    /// submit_async().
+    void submit_feedback_async(const FeedbackSample& sample,
+                               std::function<void(FeedbackAsyncResult)> done);
+
+    /// Invalidates every cached answer derived from the previous content
+    /// of model set `name`: plan-cache entries keyed on
+    /// `old_fingerprint` *and* the name-keyed stale-plan entries (which
+    /// survive reloads by design and therefore need an explicit drop on
+    /// republish).  Called by the model publisher after a hot republish.
+    void invalidate_model(const std::string& name,
+                          std::uint64_t old_fingerprint);
+
     [[nodiscard]] EngineStats stats() const;
 
     [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
@@ -176,6 +240,12 @@ private:
     PartitionCache cache_;
     PartitionCache stale_;  ///< name-keyed last-known-good plans
     rt::ThreadPool pool_;
+
+    /// Shared so an in-flight pool task keeps the handler alive across a
+    /// concurrent set_feedback_handler(); never touched by the partition
+    /// hot path.
+    mutable std::mutex feedback_mutex_;
+    std::shared_ptr<const FeedbackHandler> feedback_;
 
     std::mutex inflight_mutex_;
     std::map<PlanKey, std::shared_ptr<InFlight>> inflight_;

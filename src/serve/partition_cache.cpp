@@ -1,5 +1,7 @@
 #include "fpm/serve/partition_cache.hpp"
 
+#include <limits>
+
 #include "fpm/common/error.hpp"
 
 namespace fpm::serve {
@@ -48,6 +50,22 @@ void PartitionCache::put(const PlanKey& key,
     }
     lru_.push_front(Entry{key, std::move(plan)});
     index_[key] = lru_.begin();
+}
+
+std::size_t PartitionCache::erase_fingerprint(std::uint64_t fingerprint) {
+    std::lock_guard lock(mutex_);
+    // PlanKey orders by fingerprint first, so the doomed entries form one
+    // contiguous range of the index.
+    std::size_t removed = 0;
+    auto it = index_.lower_bound(
+        PlanKey{fingerprint, std::numeric_limits<std::int64_t>::min(),
+                Algorithm::kFpm, false});
+    while (it != index_.end() && it->first.fingerprint == fingerprint) {
+        lru_.erase(it->second);
+        it = index_.erase(it);
+        ++removed;
+    }
+    return removed;
 }
 
 CacheStats PartitionCache::stats() const {

@@ -130,6 +130,13 @@ std::string Request::encode() const {
         }
         return out.str();
     }
+    case Kind::kFeedback: {
+        std::ostringstream out;
+        out << "FEEDBACK " << feedback.model_set << ' ' << feedback.device
+            << ' ' << format_double(feedback.problem_size) << ' '
+            << format_double(feedback.seconds);
+        return out.str();
+    }
     }
     throw Error("unencodable request");
 }
@@ -175,6 +182,21 @@ Request Request::decode(const std::string& line) {
                       "unknown PARTITION option: " + tokens[4]);
             request.partition.with_layout = false;
         }
+    } else if (verb == "FEEDBACK") {
+        FPM_CHECK(tokens.size() == 5,
+                  "usage: FEEDBACK <model> <device> <size> <seconds>");
+        request.kind = Kind::kFeedback;
+        request.feedback.model_set = tokens[1];
+        request.feedback.device = parse_int(tokens[2], "device index");
+        FPM_CHECK(request.feedback.device >= 0,
+                  "device index must be non-negative");
+        request.feedback.problem_size =
+            parse_double(tokens[3], "problem size");
+        FPM_CHECK(request.feedback.problem_size > 0.0,
+                  "problem size must be positive");
+        request.feedback.seconds = parse_double(tokens[4], "measured time");
+        FPM_CHECK(request.feedback.seconds > 0.0,
+                  "measured time must be positive");
     } else {
         throw Error("unknown command: " + verb);
     }
@@ -269,6 +291,17 @@ std::string Response::encode() const {
                     << rect.h;
             }
         }
+        return out.str();
+    }
+    case Kind::kFeedback: {
+        std::ostringstream out;
+        out << "OK FEEDBACK set=" << feedback.model_set
+            << " device=" << feedback.device
+            << " samples=" << feedback.samples
+            << " reliable=" << (feedback.reliable ? 1 : 0)
+            << " drift=" << (feedback.drift ? 1 : 0)
+            << " republished=" << (feedback.republished ? 1 : 0)
+            << " version=" << feedback.version;
         return out.str();
     }
     }
@@ -391,6 +424,21 @@ Response Response::decode(const std::string& line) {
                 parsed.rects.push_back(rect);
             }
         }
+    } else if (tag == "FEEDBACK") {
+        FPM_CHECK(tokens.size() == 9, "malformed FEEDBACK reply: " + line);
+        response.kind = Kind::kFeedback;
+        FeedbackReply& parsed = response.feedback;
+        parsed.model_set = expect_kv(tokens[2], "set");
+        parsed.device = parse_int(expect_kv(tokens[3], "device"), "device");
+        parsed.samples = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[4], "samples"), "sample count"));
+        parsed.reliable =
+            parse_int(expect_kv(tokens[5], "reliable"), "reliable") != 0;
+        parsed.drift = parse_int(expect_kv(tokens[6], "drift"), "drift") != 0;
+        parsed.republished =
+            parse_int(expect_kv(tokens[7], "republished"), "republished") != 0;
+        parsed.version = static_cast<std::uint64_t>(
+            parse_int(expect_kv(tokens[8], "version"), "version"));
     } else {
         throw Error("unknown response tag: " + tag);
     }
@@ -465,6 +513,24 @@ Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
                       std::to_string(reactor.pipeline_depth.max())});
     append_histogram_us(fields, "q2r",
                         reactor.queue_to_reply_seconds.snapshot());
+
+    // Online adaptation: also process-global (the adapt layer sits above
+    // serve, so the protocol reads the raw instruments by name).  All
+    // zero until an AdaptEngine has ingested feedback.
+    static auto& metrics = obs::MetricsRegistry::global();
+    static auto& adapt_samples = metrics.counter("adapt.samples");
+    static auto& adapt_reliable = metrics.counter("adapt.reliable");
+    static auto& adapt_drift = metrics.counter("adapt.drift");
+    static auto& adapt_republished = metrics.counter("adapt.republished");
+    static auto& adapt_version = metrics.gauge("adapt.model_version");
+    fields.push_back({"adapt_samples", std::to_string(adapt_samples.value())});
+    fields.push_back(
+        {"adapt_reliable", std::to_string(adapt_reliable.value())});
+    fields.push_back({"adapt_drift", std::to_string(adapt_drift.value())});
+    fields.push_back(
+        {"adapt_republished", std::to_string(adapt_republished.value())});
+    fields.push_back(
+        {"adapt_model_version", std::to_string(adapt_version.value())});
     return response;
 }
 
@@ -512,6 +578,11 @@ Response handle_request(RequestEngine& engine, const Request& request) {
             const PartitionResponse served = engine.execute(request.partition);
             response.kind = Response::Kind::kPartition;
             response.partition = make_partition_reply(request.partition, served);
+            return response;
+        }
+        case Request::Kind::kFeedback: {
+            response.kind = Response::Kind::kFeedback;
+            response.feedback = engine.execute_feedback(request.feedback);
             return response;
         }
         }

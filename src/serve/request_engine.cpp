@@ -296,6 +296,59 @@ void RequestEngine::submit_async(const PartitionRequest& request,
     });
 }
 
+void RequestEngine::set_feedback_handler(FeedbackHandler handler) {
+    std::lock_guard lock(feedback_mutex_);
+    if (handler) {
+        feedback_ = std::make_shared<const FeedbackHandler>(std::move(handler));
+    } else {
+        feedback_.reset();
+    }
+}
+
+bool RequestEngine::feedback_enabled() const {
+    std::lock_guard lock(feedback_mutex_);
+    return feedback_ != nullptr;
+}
+
+FeedbackReply RequestEngine::execute_feedback(const FeedbackSample& sample) {
+    std::shared_ptr<const FeedbackHandler> handler;
+    {
+        std::lock_guard lock(feedback_mutex_);
+        handler = feedback_;
+    }
+    FPM_CHECK(handler != nullptr, "feedback not enabled");
+    return (*handler)(sample);
+}
+
+void RequestEngine::submit_feedback_async(
+    const FeedbackSample& sample,
+    std::function<void(FeedbackAsyncResult)> done) {
+    (void)pool_.submit([this, sample, done = std::move(done)]() {
+        FeedbackAsyncResult result;
+        try {
+            result.reply = execute_feedback(sample);
+        } catch (const std::exception& e) {
+            result.error = e.what();
+            if (result.error.empty()) {
+                result.error = "feedback failed";
+            }
+        } catch (...) {
+            result.error = "feedback failed";
+        }
+        done(std::move(result));
+    });
+}
+
+void RequestEngine::invalidate_model(const std::string& name,
+                                     std::uint64_t old_fingerprint) {
+    cache_.erase_fingerprint(old_fingerprint);
+    // The stale-plan cache keys on the name hash precisely so entries
+    // survive reloads; a deliberate republish is the one event that must
+    // drop them (the old content is now known-wrong, not just missing).
+    std::lock_guard lock(inflight_mutex_);
+    stale_.erase_fingerprint(hash_name(name));
+}
+
 EngineStats RequestEngine::stats() const {
     EngineStats stats;
     {

@@ -399,6 +399,28 @@ struct SocketServer::Reactor {
                 });
             return;
         }
+        if (request.kind == Request::Kind::kFeedback) {
+            // Feedback never runs on the event loop: ingest/refine/
+            // publish goes to the engine pool exactly like a partition
+            // compute, so a burst of reports cannot stall PARTITION
+            // replies (the off-hot-path requirement of fpm::adapt).
+            engine.submit_feedback_async(
+                request.feedback,
+                [queue = completions, conn_id = conn.id,
+                 seq](RequestEngine::FeedbackAsyncResult result) {
+                    std::string text;
+                    if (result.ok()) {
+                        Response response;
+                        response.kind = Response::Kind::kFeedback;
+                        response.feedback = std::move(result.reply);
+                        text = response.encode();
+                    } else {
+                        text = Response::make_error(result.error).encode();
+                    }
+                    queue->push(Completion{conn_id, seq, std::move(text)});
+                });
+            return;
+        }
         if (request.kind == Request::Kind::kQuit) {
             conn.closing = true;  // drop any pipelined input after QUIT
         }

@@ -1,8 +1,10 @@
-// Docs-consistency checks: the runbook and the protocol spec are kept
-// honest against the code they describe.  Every ServeConfig knob and
-// every STATS field must be documented in docs/operations.md, and every
-// protocol verb must appear in docs/protocol.md.  The source tree's
-// location is baked in via FPMPART_SOURCE_DIR at configure time.
+// Docs-consistency checks: the runbook, the protocol spec and the
+// adaptation guide are kept honest against the code they describe.
+// Every ServeConfig knob and every STATS field must be documented in
+// docs/operations.md, every protocol verb must appear in
+// docs/protocol.md, and every AdaptConfig knob in docs/adaptation.md.
+// The source tree's location is baked in via FPMPART_SOURCE_DIR at
+// configure time.
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -108,7 +110,8 @@ TEST(DocsConsistency, OperationsRunbookCoversEnvironmentVariables) {
     // The well-known injection points must all be listed by name.
     for (const char* point :
          {"serve.accept", "serve.recv", "serve.send", "serve.cache",
-          "serve.compute", "serve.reload", "rt.dispatch"}) {
+          "serve.compute", "serve.reload", "rt.dispatch", "adapt.ingest",
+          "adapt.refine", "adapt.publish"}) {
         EXPECT_NE(runbook.find(point), std::string::npos)
             << "fault point '" << point
             << "' is not documented in docs/operations.md";
@@ -118,15 +121,56 @@ TEST(DocsConsistency, OperationsRunbookCoversEnvironmentVariables) {
 TEST(DocsConsistency, ProtocolSpecCoversEveryVerbAndHealthField) {
     const std::string spec = read_file("docs/protocol.md");
     for (const char* verb :
-         {"PING", "LOAD", "PARTITION", "MODELS", "STATS", "HEALTH", "QUIT"}) {
+         {"PING", "LOAD", "PARTITION", "FEEDBACK", "MODELS", "STATS",
+          "HEALTH", "QUIT"}) {
         EXPECT_NE(spec.find(verb), std::string::npos)
             << "verb " << verb << " is not documented in docs/protocol.md";
     }
     for (const char* token :
-         {"OK PONG", "OK HEALTH", "OK PARTITION", "ERR ", "degraded=",
-          "live=", "ready=", "faults=", "coalesced="}) {
+         {"OK PONG", "OK HEALTH", "OK PARTITION", "OK FEEDBACK", "ERR ",
+          "degraded=", "live=", "ready=", "faults=", "coalesced=",
+          "reliable=", "republished=", "feedback not enabled",
+          "unknown command"}) {
         EXPECT_NE(spec.find(token), std::string::npos)
             << "token '" << token << "' is not documented in docs/protocol.md";
+    }
+}
+
+TEST(DocsConsistency, AdaptationGuideCoversEveryAdaptConfigKnob) {
+    const std::string header =
+        read_file("src/adapt/include/fpm/adapt/adapt_config.hpp");
+    const std::string guide = read_file("docs/adaptation.md");
+    const std::vector<std::string> fields = struct_fields(header);
+    // Guard the extractor: AdaptConfig carries >= 10 knobs.  If this
+    // trips, the heuristic (or the header's plain-aggregate shape)
+    // regressed.
+    EXPECT_GE(fields.size(), 10u);
+    for (const std::string& field : fields) {
+        EXPECT_NE(guide.find(field), std::string::npos)
+            << "AdaptConfig::" << field << " is not documented in "
+            << "docs/adaptation.md";
+    }
+    // The feedback grammar, drift machinery and runbook sections.
+    for (const char* token :
+         {"FEEDBACK", "CUSUM", "adapt.ingest", "adapt.refine",
+          "adapt.publish", "--adapt", "fpmpart_feedback"}) {
+        EXPECT_NE(guide.find(token), std::string::npos)
+            << "docs/adaptation.md does not mention '" << token << "'";
+    }
+}
+
+TEST(DocsConsistency, AdaptStatsFieldsAreDocumented) {
+    // The adapt_* STATS fields live in both the runbook (operator view)
+    // and the adaptation guide (semantics).
+    const std::string runbook = read_file("docs/operations.md");
+    const std::string guide = read_file("docs/adaptation.md");
+    for (const char* field :
+         {"adapt_samples", "adapt_reliable", "adapt_drift",
+          "adapt_republished", "adapt_model_version"}) {
+        EXPECT_NE(runbook.find(field), std::string::npos)
+            << "STATS field '" << field << "' missing from operations.md";
+        EXPECT_NE(guide.find(field), std::string::npos)
+            << "STATS field '" << field << "' missing from adaptation.md";
     }
 }
 
@@ -134,12 +178,14 @@ TEST(DocsConsistency, ReadmeLinksTheDocs) {
     const std::string readme = read_file("README.md");
     EXPECT_NE(readme.find("docs/protocol.md"), std::string::npos);
     EXPECT_NE(readme.find("docs/operations.md"), std::string::npos);
+    EXPECT_NE(readme.find("docs/adaptation.md"), std::string::npos);
 }
 
 TEST(DocsConsistency, DesignDocDescribesTheCurrentArchitecture) {
     const std::string design = read_file("DESIGN.md");
     for (const char* token :
-         {"fpm::fault", "epoll", "reactor", "degraded", "RequestEngine"}) {
+         {"fpm::fault", "epoll", "reactor", "degraded", "RequestEngine",
+          "fpm::adapt", "FEEDBACK"}) {
         EXPECT_NE(design.find(token), std::string::npos)
             << "DESIGN.md does not mention '" << token << "'";
     }

@@ -1,5 +1,7 @@
-// Round-trip and fuzz-ish decode coverage for every v3 protocol message
-// type.  The wire spec these tests pin down is docs/protocol.md; the
+// Round-trip and fuzz-ish decode coverage for every v4 protocol message
+// type (FEEDBACK and the adapt_* STATS fields arrived in v4; a v3 `OK
+// PONG v3` line must still decode so version mismatches surface as a
+// typed error, not a parse failure).  The wire spec these tests pin down is docs/protocol.md; the
 // invariant under fuzzing is that decode() either succeeds or throws
 // fpm::Error — truncated, oversized or garbage input must never crash,
 // hang, or escape as a different exception type.
@@ -101,6 +103,14 @@ TEST(ProtocolRequest, EveryKindRoundTrips) {
     nolayout.partition.algorithm = Algorithm::kEven;
     requests.push_back(nolayout);
 
+    Request feedback;
+    feedback.kind = Request::Kind::kFeedback;
+    feedback.feedback.model_set = "hybrid";
+    feedback.feedback.device = 2;
+    feedback.feedback.problem_size = 1536.5;
+    feedback.feedback.seconds = 0.12345678901234567;
+    requests.push_back(feedback);
+
     for (const Request& request : requests) {
         const std::string line = request.encode();
         const Request decoded = Request::decode(line);
@@ -131,10 +141,35 @@ TEST(ProtocolRequest, RejectsMalformedLines) {
         "PARTITION set 10 fpm badopt",
         "PARTITION set 10 fpm nolayout extra",
         "partition set 10 fpm",  // verbs are case-sensitive
+        "FEEDBACK",
+        "FEEDBACK set",
+        "FEEDBACK set 0 100",
+        "FEEDBACK set 0 100 1.5 extra",
+        "FEEDBACK set -1 100 1.5",   // negative device
+        "FEEDBACK set 0 0 1.5",      // zero size
+        "FEEDBACK set 0 100 0",      // zero time
+        "FEEDBACK set 0 100 -2",     // negative time
+        "FEEDBACK set zero 100 1.5", // non-numeric device
+        "feedback set 0 100 1.5",
     };
     for (const std::string& line : bad) {
         EXPECT_FALSE(request_decodes(line)) << "accepted: " << line;
     }
+}
+
+TEST(ProtocolRequest, FeedbackDoublesRoundTripBitForBit) {
+    Request request;
+    request.kind = Request::Kind::kFeedback;
+    request.feedback.model_set = "hybrid";
+    request.feedback.device = 1;
+    request.feedback.problem_size = 0.1 + 0.2;  // not exactly 0.3
+    request.feedback.seconds = 1.0 / 3.0;
+    const Request decoded = Request::decode(request.encode());
+    EXPECT_EQ(decoded.feedback.model_set, "hybrid");
+    EXPECT_EQ(decoded.feedback.device, 1);
+    EXPECT_EQ(decoded.feedback.problem_size, request.feedback.problem_size);
+    EXPECT_EQ(decoded.feedback.seconds, request.feedback.seconds);
+    EXPECT_EQ(decoded.encode(), request.encode());
 }
 
 // ---------------------------------------------------------------------------
@@ -260,6 +295,41 @@ TEST(ProtocolResponse, PartitionRoundTripsAllFlagCombinations) {
 // Truncation, garbage and oversized payloads
 // ---------------------------------------------------------------------------
 
+TEST(ProtocolResponse, FeedbackRoundTripsAllFlagCombinations) {
+    for (int mask = 0; mask < 8; ++mask) {
+        Response response;
+        response.kind = Response::Kind::kFeedback;
+        response.feedback.model_set = "hybrid";
+        response.feedback.device = 3;
+        response.feedback.samples = 17;
+        response.feedback.reliable = (mask & 1) != 0;
+        response.feedback.drift = (mask & 2) != 0;
+        response.feedback.republished = (mask & 4) != 0;
+        response.feedback.version = 9;
+        const std::string line = response.encode();
+        EXPECT_EQ(line.rfind("OK FEEDBACK set=hybrid", 0), 0u) << line;
+        const Response decoded = Response::decode(line);
+        ASSERT_EQ(decoded.kind, Response::Kind::kFeedback) << line;
+        EXPECT_EQ(decoded.feedback.model_set, "hybrid");
+        EXPECT_EQ(decoded.feedback.device, 3);
+        EXPECT_EQ(decoded.feedback.samples, 17u);
+        EXPECT_EQ(decoded.feedback.reliable, response.feedback.reliable);
+        EXPECT_EQ(decoded.feedback.drift, response.feedback.drift);
+        EXPECT_EQ(decoded.feedback.republished, response.feedback.republished);
+        EXPECT_EQ(decoded.feedback.version, 9u);
+        EXPECT_EQ(decoded.encode(), line);
+    }
+}
+
+TEST(ProtocolResponse, PreV4ErrorLinesDecodeAsTypedErrors) {
+    // What a v3 server answers when it sees FEEDBACK: must decode to
+    // kError (so ServeClient can translate it), never throw.
+    const Response response =
+        Response::decode("ERR unknown command: FEEDBACK");
+    EXPECT_EQ(response.kind, Response::Kind::kError);
+    EXPECT_EQ(response.error, "unknown command: FEEDBACK");
+}
+
 TEST(ProtocolFuzz, EveryPrefixOfValidEncodingsIsHandled) {
     std::vector<std::string> lines;
     Request partition;
@@ -272,6 +342,10 @@ TEST(ProtocolFuzz, EveryPrefixOfValidEncodingsIsHandled) {
     load.name = "a";
     load.path = "/p";
     lines.push_back(load.encode());
+    Request feedback;
+    feedback.kind = Request::Kind::kFeedback;
+    feedback.feedback = {"hybrid", 1, 1024.0, 0.25};
+    lines.push_back(feedback.encode());
 
     for (const std::string& line : lines) {
         for (std::size_t cut = 0; cut < line.size(); ++cut) {
@@ -295,8 +369,14 @@ TEST(ProtocolFuzz, EveryPrefixOfValidEncodingsIsHandled) {
     models.kind = Response::Kind::kModels;
     models.sets = {ModelSetInfo{"cpu", 1, 2}};
     replies.push_back(models.encode());
-    replies.push_back("OK PONG v3");
+    replies.push_back("OK PONG v3");  // v3 liveness line still decodes
     replies.push_back("OK STATS a=1 b=2");
+    Response feedback_reply;
+    feedback_reply.kind = Response::Kind::kFeedback;
+    feedback_reply.feedback.model_set = "hybrid";
+    feedback_reply.feedback.samples = 3;
+    feedback_reply.feedback.reliable = true;
+    replies.push_back(feedback_reply.encode());
 
     for (const std::string& line : replies) {
         EXPECT_TRUE(response_decodes(line)) << line;
@@ -371,6 +451,12 @@ TEST(ProtocolFuzz, WrongArityRepliesAreErrors) {
         "OK PARTITION model=m gen=1 n=4 algo=fpm cached=0 coalesced=0 "
         "balanced=1 makespan=1 comm=1 blocks=1 layout=-",  // v2-era: no degraded
         "OK STATS novalue",
+        "OK FEEDBACK set=s device=0 samples=1 reliable=0 drift=0 "
+        "republished=0",  // missing version
+        "OK FEEDBACK set=s device=0 samples=1 reliable=0 drift=0 "
+        "republished=0 version=1 extra=1",
+        "OK FEEDBACK set=s device=x samples=1 reliable=0 drift=0 "
+        "republished=0 version=1",
     };
     for (const std::string& line : bad) {
         EXPECT_FALSE(response_decodes(line)) << "accepted: " << line;
@@ -394,6 +480,14 @@ TEST(ProtocolFingerprint, StableAndDiscriminating) {
 
     Request ping;
     EXPECT_NE(request_fingerprint(a), request_fingerprint(ping));
+
+    Request feedback;
+    feedback.kind = Request::Kind::kFeedback;
+    feedback.feedback = {"hybrid", 0, 100.0, 1.0};
+    Request feedback2 = feedback;
+    EXPECT_EQ(request_fingerprint(feedback), request_fingerprint(feedback2));
+    feedback2.feedback.seconds = 2.0;
+    EXPECT_NE(request_fingerprint(feedback), request_fingerprint(feedback2));
 }
 
 } // namespace

@@ -8,9 +8,16 @@
 //   PING                                    liveness probe
 //   LOAD <name> <path>                      hot-(re)load a model set
 //   PARTITION <model> <n> <algo> [nolayout] partition an n x n workload
+//   FEEDBACK <model> <dev> <size> <secs>    report a measured execution
 //   MODELS / STATS                          registry, cache and reactor counters
 //   HEALTH                                  readiness + fault/degraded counters
 //   QUIT                                    close this connection
+//
+// With `--adapt on` the server folds FEEDBACK samples into the served
+// models online (fpm::adapt): reliable evidence refines the speed
+// functions and sustained drift hot-publishes a new model version (see
+// docs/adaptation.md).  Without it FEEDBACK answers
+// `ERR feedback not enabled`.
 //
 // Fault drills: set FPMPART_FAULTS (see docs/operations.md) before
 // launch to arm deterministic injection points; the armed rule count is
@@ -20,6 +27,9 @@
 //   fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]
 //                 [--port P] [--bind ADDR] [--threads N] [--cache N]
 //                 [--max-conns N] [--idle-timeout SECONDS]
+//                 [--adapt on|off] [--adapt-min-samples N]
+//                 [--adapt-max-samples N] [--adapt-rel-err X]
+//                 [--adapt-drift X] [--adapt-cusum X]
 //                 [--trace FILE]
 //
 // Port 0 (the default) picks an ephemeral port; the bound port is
@@ -29,6 +39,9 @@
 #include <cstdio>
 #include <string>
 
+#include <memory>
+
+#include "fpm/adapt/engine.hpp"
 #include "fpm/fault/fault.hpp"
 #include "fpm/serve/server.hpp"
 #include "tool_args.hpp"
@@ -39,6 +52,9 @@ constexpr const char* kUsage =
     "usage: fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]\n"
     "                     [--port P] [--bind ADDR] [--threads N] [--cache N]\n"
     "                     [--max-conns N] [--idle-timeout SECONDS]\n"
+    "                     [--adapt on|off] [--adapt-min-samples N]\n"
+    "                     [--adapt-max-samples N] [--adapt-rel-err X]\n"
+    "                     [--adapt-drift X] [--adapt-cusum X]\n"
     "                     [--trace FILE]\n";
 
 } // namespace
@@ -49,12 +65,16 @@ int main(int argc, char** argv) {
         std::vector<std::string> model_specs;
         long long threads = 4;
         long long cache_capacity = 1024;
+        bool adapt_enabled = false;
+        adapt::AdaptConfig adapt_config;
         serve::ServeConfig config;
         try {
             const fpmtool::ArgParser args(
                 argc, argv,
                 {"--port", "--bind", "--threads", "--cache", "--max-conns",
-                 "--idle-timeout", "--trace"},
+                 "--idle-timeout", "--adapt", "--adapt-min-samples",
+                 "--adapt-max-samples", "--adapt-rel-err", "--adapt-drift",
+                 "--adapt-cusum", "--trace"},
                 {"--models"});
             model_specs = args.values("--models");
             fpmtool::init_tracing(args);
@@ -72,6 +92,30 @@ int main(int argc, char** argv) {
                 args.double_value("--idle-timeout", config.idle_timeout);
             FPM_CHECK(threads >= 1, "--threads must be positive");
             FPM_CHECK(cache_capacity >= 1, "--cache must be positive");
+            const std::string adapt = args.value("--adapt", "off");
+            FPM_CHECK(adapt == "on" || adapt == "off",
+                      "--adapt expects on|off, got '" + adapt + "'");
+            adapt_enabled = adapt == "on";
+            adapt_config.min_samples = static_cast<std::uint64_t>(
+                args.int_value("--adapt-min-samples",
+                               static_cast<long long>(
+                                   adapt_config.min_samples)));
+            adapt_config.max_samples = static_cast<std::uint64_t>(
+                args.int_value("--adapt-max-samples",
+                               static_cast<long long>(
+                                   adapt_config.max_samples)));
+            adapt_config.target_relative_error = args.double_value(
+                "--adapt-rel-err", adapt_config.target_relative_error);
+            adapt_config.drift_threshold =
+                args.double_value("--adapt-drift",
+                                  adapt_config.drift_threshold);
+            adapt_config.cusum_limit =
+                args.double_value("--adapt-cusum", adapt_config.cusum_limit);
+            // AdaptEngine revalidates; this just fails before binding.
+            FPM_CHECK(adapt_config.min_samples >= 1,
+                      "--adapt-min-samples must be positive");
+            FPM_CHECK(adapt_config.max_samples >= adapt_config.min_samples,
+                      "--adapt-max-samples must be >= --adapt-min-samples");
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
             return 2;
@@ -115,6 +159,21 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(cache_capacity);
         serve::RequestEngine engine(registry, engine_options);
 
+        std::unique_ptr<adapt::AdaptEngine> adapter;
+        if (adapt_enabled) {
+            adapter = std::make_unique<adapt::AdaptEngine>(engine,
+                                                           adapt_config);
+            std::printf("online adaptation enabled: min %llu / max %llu "
+                        "samples, rel-err %.3g, drift %.3g, cusum %.3g\n",
+                        static_cast<unsigned long long>(
+                            adapt_config.min_samples),
+                        static_cast<unsigned long long>(
+                            adapt_config.max_samples),
+                        adapt_config.target_relative_error,
+                        adapt_config.drift_threshold,
+                        adapt_config.cusum_limit);
+        }
+
         serve::SocketServer server(engine, config);
         server.start();
         std::printf("fpmpart_serve listening on %s:%u (%lld worker(s), "
@@ -138,6 +197,17 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(stats.computed),
                     static_cast<unsigned long long>(stats.coalesced),
                     static_cast<unsigned long long>(stats.cache.hits));
+        if (adapter) {
+            const auto adapt_stats = adapter->stats();
+            std::printf("adaptation: %llu sample(s), %llu reliable "
+                        "window(s), %llu republish(es), model version %llu\n",
+                        static_cast<unsigned long long>(adapt_stats.samples),
+                        static_cast<unsigned long long>(adapt_stats.reliable),
+                        static_cast<unsigned long long>(
+                            adapt_stats.republished),
+                        static_cast<unsigned long long>(
+                            adapt_stats.model_version));
+        }
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
