@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job for the serving stack: configures (once) and
+# builds the TSan tree, then runs every test labelled `serve` — the
+# reactor-pool, protocol, fault-injection and adaptation suites — under
+# TSan.  This is the exact command documented in docs/operations.md;
+# keep the two in sync.
+#
+# Usage: ci/tsan_serve.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build-tsan}"
+jobs="${FPMPART_BUILD_JOBS:-2}"
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+fi
+
+cmake --build "$build" -j "$jobs"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$build" -L serve --output-on-failure -j 1

@@ -114,7 +114,9 @@ ServeClient::ServeClient(const std::string& host, std::uint16_t port)
 ServeClient::~ServeClient() { close_fd(); }
 
 void ServeClient::open_connection() {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // CLOEXEC so tools that fork (e.g. to spawn a pager) cannot leak
+    // the connection into the child.
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     FPM_CHECK(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
     buffer_.clear();
 
@@ -370,6 +372,18 @@ HealthReply ServeClient::health() {
     FPM_CHECK(response.kind == Response::Kind::kHealth,
               "malformed HEALTH reply");
     return response.health;
+}
+
+ServerStats ServeClient::stats() {
+    Request wire;
+    wire.kind = Request::Kind::kStats;
+    const Response response = call(wire);
+    if (response.kind == Response::Kind::kError) {
+        throw Error("server error: " + response.error);
+    }
+    FPM_CHECK(response.kind == Response::Kind::kStats,
+              "malformed STATS reply");
+    return ServerStats::from_fields(response.stats);
 }
 
 } // namespace fpm::serve

@@ -115,6 +115,12 @@ public:
     /// the server answers ERR.
     HealthReply health();
 
+    /// STATS round trip, fully typed: every known field parsed into
+    /// ServerStats, unknown `key=value` pairs preserved in
+    /// ServerStats::extras.  Throws fpm::Error when the server answers
+    /// ERR or a known field carries a malformed value.
+    ServerStats stats();
+
 private:
     void open_connection();
     void close_fd() noexcept;

@@ -1,13 +1,24 @@
 /// \file partition_cache.hpp
-/// \brief LRU memoization of partitioning results.
+/// \brief Lock-striped sharded LRU memoization of partitioning results.
 ///
 /// A partition query is fully determined by (model content, workload
 /// size, algorithm, layout on/off), so the service memoizes the computed
 /// plan.  The key uses the model set's content *fingerprint*, not its
 /// name: hot-reloading a set with identical content keeps its entries
 /// valid, while changed content simply stops matching (stale entries
-/// age out of the LRU tail).  Counters expose hit/miss/eviction totals
-/// for the STATS wire command and the tests.
+/// age out of the LRU tail).
+///
+/// The cache is striped into a power-of-two number of independently
+/// locked shards so that N reactor threads probing concurrently do not
+/// serialize on one mutex.  The shard is chosen by a mixed hash of the
+/// key's fingerprint — every entry of one model set lands in exactly one
+/// shard, which keeps erase_fingerprint() a single-shard operation.
+/// Recency and capacity are per shard (capacity is split evenly), so a
+/// single-shard cache (the default) is an exact LRU with the same
+/// counter semantics as prior releases.  Counters expose hit/miss/
+/// eviction totals for the STATS wire command and the tests; per-shard
+/// snapshots are exposed so tests can assert the shards sum to the
+/// global counters.
 #pragma once
 
 #include <compare>
@@ -16,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "fpm/part/request.hpp"
 
@@ -42,7 +54,7 @@ struct PartitionPlan : part::PartitionPlan {
     std::uint64_t generation = 0;  ///< model-set generation that produced it
 };
 
-/// Counter snapshot.
+/// Counter snapshot (one shard's or the whole cache's).
 struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -50,11 +62,14 @@ struct CacheStats {
     std::size_t size = 0;
 };
 
-/// Thread-safe LRU cache of shared immutable plans.
+/// Thread-safe sharded LRU cache of shared immutable plans.
 class PartitionCache {
 public:
-    /// `capacity` >= 1 entries.
-    explicit PartitionCache(std::size_t capacity);
+    /// `capacity` >= 1 total entries, split evenly across `shards`
+    /// stripes (each shard holds at least one entry).  `shards` is
+    /// rounded up to the next power of two; 1 (the default) is an exact
+    /// single-LRU cache.
+    explicit PartitionCache(std::size_t capacity, std::size_t shards = 1);
 
     /// Returns the cached plan and refreshes its recency, or nullptr.
     [[nodiscard]] std::shared_ptr<const PartitionPlan> get(const PlanKey& key);
@@ -67,7 +82,7 @@ public:
     probe(const PlanKey& key);
 
     /// Inserts (or refreshes) `plan`, evicting the least recently used
-    /// entry when full.
+    /// entry of the key's shard when that shard is full.
     void put(const PlanKey& key, std::shared_ptr<const PartitionPlan> plan);
 
     /// Drops every entry whose key carries `fingerprint`, regardless of
@@ -75,10 +90,19 @@ public:
     /// republication calls this so a refined model can never serve a plan
     /// fingerprinted against the old speed function — LRU aging alone
     /// would let such entries linger (and the stale-plan cache, keyed on
-    /// a name hash, would never age them at all).
+    /// a name hash, would never age them at all).  All entries of one
+    /// fingerprint share a shard, so this locks exactly one stripe.
     std::size_t erase_fingerprint(std::uint64_t fingerprint);
 
+    /// Sums the per-shard counters.
     [[nodiscard]] CacheStats stats() const;
+
+    /// Per-shard counter snapshots, indexed by shard; sums to stats().
+    [[nodiscard]] std::vector<CacheStats> shard_stats() const;
+
+    /// Number of stripes (a power of two).
+    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
     void clear();
 
 private:
@@ -87,13 +111,20 @@ private:
         std::shared_ptr<const PartitionPlan> plan;
     };
 
-    const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::list<Entry> lru_;  // front = most recently used
-    std::map<PlanKey, std::list<Entry>::iterator> index_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    struct Shard {
+        mutable std::mutex mutex;
+        std::list<Entry> lru;  // front = most recently used
+        std::map<PlanKey, std::list<Entry>::iterator> index;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    Shard& shard_for(const PlanKey& key);
+    const Shard& shard_for(const PlanKey& key) const;
+
+    std::size_t shard_capacity_ = 0;  ///< per-shard entry budget
+    std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 } // namespace fpm::serve

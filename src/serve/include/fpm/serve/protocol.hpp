@@ -27,7 +27,9 @@
 /// docs/protocol.md; this header and that document must change together.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -113,6 +115,77 @@ struct ModelSetInfo {
 struct StatField {
     std::string name;
     std::string value;
+};
+
+/// Per-algorithm request-latency quartet of an `OK STATS` reply
+/// (`<algo>_count`, `<algo>_p50_us`, ...).
+struct AlgorithmStats {
+    std::uint64_t count = 0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+};
+
+/// The typed view of an `OK STATS` reply: every field the current
+/// protocol revision emits, plus `extras` holding any `key=value` pair
+/// this build does not know (the forward-compat contract — decoders
+/// ignore unknown keys, and this struct *preserves* them).  Produced by
+/// from_fields() over a decoded StatField vector; consumed by
+/// ServeClient::stats(), the fpmpart_serve shutdown dump and the tests,
+/// none of which grep raw reply text anymore.
+struct ServerStats {
+    // -- engine -------------------------------------------------------
+    std::uint64_t requests = 0;
+    std::uint64_t computed = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t degraded = 0;
+    double mean_latency_us = 0.0;
+    double max_latency_us = 0.0;
+    /// Indexed by static_cast<std::size_t>(Algorithm), like
+    /// EngineStats::latency_by_algorithm.
+    std::array<AlgorithmStats, kAlgorithmCount> by_algorithm{};
+
+    // -- plan cache ---------------------------------------------------
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t cache_size = 0;
+    std::uint64_t cache_shards = 0;  ///< lock stripes of the plan cache
+
+    // -- registry / fault layer ---------------------------------------
+    std::uint64_t models = 0;
+    std::uint64_t faults = 0;
+
+    // -- reactor pool (process-global gauges/counters) ----------------
+    std::uint64_t reactors = 0;  ///< event-loop threads of the running pool
+    std::int64_t open_conns = 0;
+    std::int64_t buffered_bytes = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t idle_timeouts = 0;
+    std::uint64_t send_failures = 0;
+    std::uint64_t pipelined = 0;
+    std::int64_t pipeline_depth_max = 0;
+    double q2r_p50_us = 0.0;
+    double q2r_p95_us = 0.0;
+    double q2r_p99_us = 0.0;
+
+    // -- online adaptation --------------------------------------------
+    std::uint64_t adapt_samples = 0;
+    std::uint64_t adapt_reliable = 0;
+    std::uint64_t adapt_drift = 0;
+    std::uint64_t adapt_republished = 0;
+    std::uint64_t adapt_model_version = 0;
+
+    /// Unknown `key=value` pairs, verbatim (e.g. fields added by a newer
+    /// server).  Known fields never appear here.
+    std::map<std::string, std::string> extras;
+
+    /// Parses a decoded STATS field vector.  Throws fpm::Error when a
+    /// *known* field carries a malformed value; unknown names land in
+    /// `extras` untouched.
+    [[nodiscard]] static ServerStats
+    from_fields(const std::vector<StatField>& fields);
 };
 
 /// A response message: a tagged struct mirroring Request.  decode()

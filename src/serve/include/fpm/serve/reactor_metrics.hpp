@@ -18,6 +18,8 @@ struct ReactorMetrics {
     obs::Gauge& buffered_bytes;    ///< sum of per-connection in+out buffers
     obs::Gauge& pipeline_depth;    ///< in-flight requests on one connection
                                    ///  (max() is the interesting reading)
+    obs::Gauge& reactors;          ///< event-loop threads of the running
+                                   ///  server (0 before any start())
     obs::Counter& accepted;
     obs::Counter& rejected;        ///< admission-control `ERR busy` closes
     obs::Counter& idle_timeouts;   ///< timer-wheel evictions
@@ -33,6 +35,7 @@ struct ReactorMetrics {
             registry.gauge("serve.reactor.open_connections"),
             registry.gauge("serve.reactor.buffered_bytes"),
             registry.gauge("serve.reactor.pipeline_depth"),
+            registry.gauge("serve.reactor.reactors"),
             registry.counter("serve.reactor.accepted"),
             registry.counter("serve.reactor.rejected"),
             registry.counter("serve.reactor.idle_timeouts"),

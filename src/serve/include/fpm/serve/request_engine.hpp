@@ -35,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "fpm/measure/stats.hpp"
 #include "fpm/obs/metrics.hpp"
@@ -99,6 +100,11 @@ struct EngineStats {
     /// wire reply.
     std::array<obs::HistogramSnapshot, kAlgorithmCount> latency_by_algorithm{};
     CacheStats cache;
+    /// Stripe count of the plan cache (a power of two, >= 1).
+    std::size_t cache_shards = 1;
+    /// Per-stripe cache counters, indexed by shard; their field-wise sum
+    /// equals `cache` (the STATS aggregation invariant the tests assert).
+    std::vector<CacheStats> cache_by_shard;
 };
 
 /// See file comment.
@@ -107,6 +113,11 @@ public:
     struct Options {
         unsigned workers = 4;             ///< thread-pool size for submit()
         std::size_t cache_capacity = 1024;
+        /// Lock stripes of the plan cache (rounded up to a power of two;
+        /// 0 is treated as 1).  Raise alongside ServeConfig::num_reactors
+        /// so concurrent cache probes from N reactors do not serialize on
+        /// one mutex; 1 keeps the exact single-LRU semantics.
+        std::size_t cache_shards = 1;
         part::FpmPartitionOptions partition{};  ///< forwarded to the bisection
         /// Serve stale/fallback plans instead of failing when the model
         /// is missing or a compute fails (see file comment).

@@ -23,9 +23,20 @@ struct ServeConfig {
     std::string bind_address = "127.0.0.1";
     int backlog = 64;
 
+    // -- reactor pool -------------------------------------------------
+    /// Event-loop threads.  Each reactor owns its own epoll instance and
+    /// listening socket; with more than one, the sockets are bound with
+    /// SO_REUSEPORT so the kernel load-balances accepted connections and
+    /// no cross-reactor handoff exists on the hot path.  1 (the default)
+    /// reproduces the single-reactor behaviour of prior releases exactly
+    /// (no SO_REUSEPORT).  Clamped to >= 1.
+    std::size_t num_reactors = 1;
+
     // -- reactor lifecycle --------------------------------------------
     /// Admission control: connections beyond this are answered with a
     /// one-line `ERR busy` and closed (counted in serve.reactor.rejected).
+    /// The budget is global — shared by every reactor in the pool, not
+    /// multiplied by num_reactors.
     std::size_t max_connections = 256;
     /// A connection with no read activity and nothing in flight for this
     /// long is evicted by the reactor's timer wheel.  <= 0 disables.

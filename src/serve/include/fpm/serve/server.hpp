@@ -1,33 +1,45 @@
 /// \file server.hpp
 /// \brief Event-driven TCP server speaking the partition-service protocol.
 ///
-/// One reactor thread owns every socket: an epoll loop over the
-/// non-blocking listener, an eventfd (RequestEngine completions and
-/// stop() wake-ups) and the per-connection sockets.  Connections carry
+/// The server runs a pool of ServeConfig::num_reactors reactor threads.
+/// Each reactor owns its own epoll instance, its own non-blocking
+/// listening socket and its own eventfd mailbox (RequestEngine
+/// completions and stop() wake-ups); with more than one reactor the
+/// listeners are bound with SO_REUSEPORT, so the kernel load-balances
+/// accepted connections across them and a connection lives its whole
+/// life on one reactor — there is no cross-reactor handoff on the hot
+/// path and no shared reactor state to lock.  Connections carry
 /// read/write buffers and a response pipeline, so a client may send many
 /// request lines back-to-back; partition compute runs on the engine's
-/// thread pool and each completion is posted back to the loop, which
-/// writes responses strictly in request order.  Lifecycle management:
+/// thread pool and each completion is posted back to the owning loop,
+/// which writes responses strictly in request order.  Lifecycle
+/// management:
 ///
-///  * admission control — accepts beyond ServeConfig::max_connections
-///    are answered `ERR busy` and closed (serve.reactor.rejected);
-///  * idle eviction — a timer wheel closes connections with no read
-///    activity and nothing in flight for ServeConfig::idle_timeout;
-///  * graceful drain — stop() stops accepting, flushes in-flight
-///    responses for at most ServeConfig::drain_deadline, then closes.
+///  * admission control — the ServeConfig::max_connections budget is
+///    *global* (one atomic shared by the pool); accepts beyond it are
+///    answered `ERR busy` and closed (serve.reactor.rejected);
+///  * idle eviction — each reactor's timer wheel closes connections
+///    with no read activity and nothing in flight for
+///    ServeConfig::idle_timeout;
+///  * graceful drain — stop() stops accepting on every listener, lets
+///    each reactor flush its in-flight responses for at most
+///    ServeConfig::drain_deadline, then closes.
 ///
-/// Cheap commands (PING, STATS, MODELS) run inline on the loop; LOAD
-/// also runs inline, so a slow model-CSV read briefly stalls the loop —
-/// acceptable for an administrative command.  Port 0 picks an ephemeral
-/// port; port() reports the bound one, which is how tests and the bench
-/// avoid collisions.  Every reactor event feeds `serve.reactor.*`
-/// metrics in the process-global obs registry, surfaced through STATS.
+/// Cheap commands (PING, STATS, MODELS) run inline on the owning loop;
+/// LOAD also runs inline, so a slow model-CSV read briefly stalls that
+/// one reactor — acceptable for an administrative command.  Port 0
+/// picks an ephemeral port (the first listener binds it, the rest join
+/// it via SO_REUSEPORT); port() reports the bound one, which is how
+/// tests and the bench avoid collisions.  Every reactor event feeds the
+/// process-global `serve.reactor.*` metrics, so STATS aggregates the
+/// whole pool no matter which reactor answers it.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "fpm/serve/protocol.hpp"
 #include "fpm/serve/serve_config.hpp"
@@ -45,13 +57,15 @@ public:
     SocketServer(const SocketServer&) = delete;
     SocketServer& operator=(const SocketServer&) = delete;
 
-    /// Binds, listens and starts the reactor thread; throws fpm::Error
-    /// on socket failures or if already started.
+    /// Binds every listener, then starts the reactor threads; throws
+    /// fpm::Error on socket failures or if already started (nothing
+    /// leaks on a mid-pool failure).
     void start();
 
-    /// Graceful drain: stops accepting, lets in-flight requests finish
-    /// and their responses flush (up to ServeConfig::drain_deadline),
-    /// closes everything and joins the reactor thread.  Idempotent.
+    /// Graceful drain: stops accepting on every listener, lets each
+    /// reactor's in-flight requests finish and their responses flush
+    /// (up to ServeConfig::drain_deadline), closes everything and joins
+    /// the reactor threads.  Idempotent.
     void stop();
 
     /// Bound port (valid after start()).
@@ -64,9 +78,15 @@ public:
         return accepted_.load();
     }
 
-    /// Currently open connections.
+    /// Currently open connections (across all reactors; this is the
+    /// global admission budget's live value).
     [[nodiscard]] std::size_t open_connections() const noexcept {
         return open_.load();
+    }
+
+    /// Reactor threads of the running pool (0 before start()).
+    [[nodiscard]] std::size_t num_reactors() const noexcept {
+        return reactors_.size();
     }
 
     [[nodiscard]] const ServeConfig& config() const noexcept {
@@ -74,16 +94,16 @@ public:
     }
 
 private:
-    struct Reactor;  ///< the loop's state; lives only while running
+    struct Reactor;  ///< one loop's state; lives only while running
 
     RequestEngine& engine_;
     ServeConfig config_;
     std::uint16_t port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<std::size_t> accepted_{0};
-    std::atomic<std::size_t> open_{0};
-    std::unique_ptr<Reactor> reactor_;
-    std::thread loop_thread_;
+    std::atomic<std::size_t> open_{0};  ///< global admission budget
+    std::vector<std::unique_ptr<Reactor>> reactors_;
+    std::vector<std::thread> threads_;
 };
 
 } // namespace fpm::serve

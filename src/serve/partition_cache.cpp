@@ -1,82 +1,140 @@
 #include "fpm/serve/partition_cache.hpp"
 
+#include <bit>
 #include <limits>
 
 #include "fpm/common/error.hpp"
 
 namespace fpm::serve {
 
-PartitionCache::PartitionCache(std::size_t capacity) : capacity_(capacity) {
+namespace {
+
+/// splitmix64 finalizer: the fingerprint is already a content hash, but
+/// shard selection masks the *low* bits, so run them through a full
+/// avalanche mix first.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PartitionCache::PartitionCache(std::size_t capacity, std::size_t shards) {
     FPM_CHECK(capacity >= 1, "cache capacity must be positive");
+    FPM_CHECK(shards >= 1, "cache shard count must be positive");
+    const std::size_t rounded = std::bit_ceil(shards);
+    shard_capacity_ = (capacity + rounded - 1) / rounded;
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+    shards_.reserve(rounded);
+    for (std::size_t i = 0; i < rounded; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+}
+
+PartitionCache::Shard& PartitionCache::shard_for(const PlanKey& key) {
+    return *shards_[mix64(key.fingerprint) & (shards_.size() - 1)];
+}
+
+const PartitionCache::Shard&
+PartitionCache::shard_for(const PlanKey& key) const {
+    return *shards_[mix64(key.fingerprint) & (shards_.size() - 1)];
 }
 
 std::shared_ptr<const PartitionPlan> PartitionCache::get(const PlanKey& key) {
-    std::lock_guard lock(mutex_);
-    const auto it = index_.find(key);
-    if (it == index_.end()) {
-        ++misses_;
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
         return nullptr;
     }
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
     return it->second->plan;
 }
 
 std::shared_ptr<const PartitionPlan>
 PartitionCache::probe(const PlanKey& key) {
-    std::lock_guard lock(mutex_);
-    const auto it = index_.find(key);
-    if (it == index_.end()) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
         return nullptr;  // not counted: the caller retries via get()
     }
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->plan;
 }
 
 void PartitionCache::put(const PlanKey& key,
                          std::shared_ptr<const PartitionPlan> plan) {
     FPM_CHECK(plan != nullptr, "cannot cache a null plan");
-    std::lock_guard lock(mutex_);
-    if (const auto it = index_.find(key); it != index_.end()) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
         it->second->plan = std::move(plan);
-        lru_.splice(lru_.begin(), lru_, it->second);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
-    if (lru_.size() >= capacity_) {
-        index_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++evictions_;
+    if (shard.lru.size() >= shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++shard.evictions;
     }
-    lru_.push_front(Entry{key, std::move(plan)});
-    index_[key] = lru_.begin();
+    shard.lru.push_front(Entry{key, std::move(plan)});
+    shard.index[key] = shard.lru.begin();
 }
 
 std::size_t PartitionCache::erase_fingerprint(std::uint64_t fingerprint) {
-    std::lock_guard lock(mutex_);
-    // PlanKey orders by fingerprint first, so the doomed entries form one
-    // contiguous range of the index.
+    // Every key of one fingerprint maps to the same shard, and PlanKey
+    // orders by fingerprint first, so the doomed entries form one
+    // contiguous range of a single shard's index.
+    Shard& shard = shard_for(
+        PlanKey{fingerprint, 0, Algorithm::kFpm, false});
+    std::lock_guard lock(shard.mutex);
     std::size_t removed = 0;
-    auto it = index_.lower_bound(
+    auto it = shard.index.lower_bound(
         PlanKey{fingerprint, std::numeric_limits<std::int64_t>::min(),
                 Algorithm::kFpm, false});
-    while (it != index_.end() && it->first.fingerprint == fingerprint) {
-        lru_.erase(it->second);
-        it = index_.erase(it);
+    while (it != shard.index.end() && it->first.fingerprint == fingerprint) {
+        shard.lru.erase(it->second);
+        it = shard.index.erase(it);
         ++removed;
     }
     return removed;
 }
 
 CacheStats PartitionCache::stats() const {
-    std::lock_guard lock(mutex_);
-    return CacheStats{hits_, misses_, evictions_, lru_.size()};
+    CacheStats total;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+        total.evictions += shard->evictions;
+        total.size += shard->lru.size();
+    }
+    return total;
+}
+
+std::vector<CacheStats> PartitionCache::shard_stats() const {
+    std::vector<CacheStats> out;
+    out.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        out.push_back(CacheStats{shard->hits, shard->misses, shard->evictions,
+                                 shard->lru.size()});
+    }
+    return out;
 }
 
 void PartitionCache::clear() {
-    std::lock_guard lock(mutex_);
-    lru_.clear();
-    index_.clear();
+    for (auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        shard->lru.clear();
+        shard->index.clear();
+    }
 }
 
 } // namespace fpm::serve

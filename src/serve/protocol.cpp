@@ -481,6 +481,7 @@ Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
     fields.push_back({"misses", std::to_string(stats.cache.misses)});
     fields.push_back({"evictions", std::to_string(stats.cache.evictions)});
     fields.push_back({"cache_size", std::to_string(stats.cache.size)});
+    fields.push_back({"cache_shards", std::to_string(stats.cache_shards)});
     fields.push_back({"models", std::to_string(model_count)});
     fields.push_back({"degraded", std::to_string(stats.degraded)});
     fields.push_back({"faults", std::to_string(fault::injected_total())});
@@ -498,6 +499,7 @@ Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
     // Reactor lifecycle: process-global, so STATS works identically over
     // the wire and in-process (all-zero until a server has run).
     const ReactorMetrics& reactor = ReactorMetrics::get();
+    fields.push_back({"reactors", std::to_string(reactor.reactors.value())});
     fields.push_back(
         {"open_conns", std::to_string(reactor.open_connections.value())});
     fields.push_back(
@@ -532,6 +534,170 @@ Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
     fields.push_back(
         {"adapt_model_version", std::to_string(adapt_version.value())});
     return response;
+}
+
+namespace {
+
+/// One known STATS field: where it lands in ServerStats and how its
+/// value parses.  Captureless lambdas, so the table is plain function
+/// pointers.
+using StatSetter = void (*)(ServerStats&, const std::string&);
+
+std::uint64_t stat_u64(const std::string& value, const char* what) {
+    return static_cast<std::uint64_t>(parse_int(value, what));
+}
+
+const std::map<std::string, StatSetter, std::less<>>& stat_setters() {
+    auto algo_entries = [](std::map<std::string, StatSetter, std::less<>>& m) {
+        m["fpm_count"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[0].count = stat_u64(v, "fpm_count");
+        };
+        m["fpm_p50_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[0].p50_us = parse_double(v, "fpm_p50_us");
+        };
+        m["fpm_p95_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[0].p95_us = parse_double(v, "fpm_p95_us");
+        };
+        m["fpm_p99_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[0].p99_us = parse_double(v, "fpm_p99_us");
+        };
+        m["cpm_count"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[1].count = stat_u64(v, "cpm_count");
+        };
+        m["cpm_p50_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[1].p50_us = parse_double(v, "cpm_p50_us");
+        };
+        m["cpm_p95_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[1].p95_us = parse_double(v, "cpm_p95_us");
+        };
+        m["cpm_p99_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[1].p99_us = parse_double(v, "cpm_p99_us");
+        };
+        m["even_count"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[2].count = stat_u64(v, "even_count");
+        };
+        m["even_p50_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[2].p50_us = parse_double(v, "even_p50_us");
+        };
+        m["even_p95_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[2].p95_us = parse_double(v, "even_p95_us");
+        };
+        m["even_p99_us"] = [](ServerStats& s, const std::string& v) {
+            s.by_algorithm[2].p99_us = parse_double(v, "even_p99_us");
+        };
+    };
+    static const auto table = [&algo_entries]() {
+        std::map<std::string, StatSetter, std::less<>> m;
+        m["requests"] = [](ServerStats& s, const std::string& v) {
+            s.requests = stat_u64(v, "requests");
+        };
+        m["computed"] = [](ServerStats& s, const std::string& v) {
+            s.computed = stat_u64(v, "computed");
+        };
+        m["coalesced"] = [](ServerStats& s, const std::string& v) {
+            s.coalesced = stat_u64(v, "coalesced");
+        };
+        m["degraded"] = [](ServerStats& s, const std::string& v) {
+            s.degraded = stat_u64(v, "degraded");
+        };
+        m["mean_latency_us"] = [](ServerStats& s, const std::string& v) {
+            s.mean_latency_us = parse_double(v, "mean_latency_us");
+        };
+        m["max_latency_us"] = [](ServerStats& s, const std::string& v) {
+            s.max_latency_us = parse_double(v, "max_latency_us");
+        };
+        m["hits"] = [](ServerStats& s, const std::string& v) {
+            s.hits = stat_u64(v, "hits");
+        };
+        m["misses"] = [](ServerStats& s, const std::string& v) {
+            s.misses = stat_u64(v, "misses");
+        };
+        m["evictions"] = [](ServerStats& s, const std::string& v) {
+            s.evictions = stat_u64(v, "evictions");
+        };
+        m["cache_size"] = [](ServerStats& s, const std::string& v) {
+            s.cache_size = stat_u64(v, "cache_size");
+        };
+        m["cache_shards"] = [](ServerStats& s, const std::string& v) {
+            s.cache_shards = stat_u64(v, "cache_shards");
+        };
+        m["models"] = [](ServerStats& s, const std::string& v) {
+            s.models = stat_u64(v, "models");
+        };
+        m["faults"] = [](ServerStats& s, const std::string& v) {
+            s.faults = stat_u64(v, "faults");
+        };
+        m["reactors"] = [](ServerStats& s, const std::string& v) {
+            s.reactors = stat_u64(v, "reactors");
+        };
+        m["open_conns"] = [](ServerStats& s, const std::string& v) {
+            s.open_conns = parse_int(v, "open_conns");
+        };
+        m["buffered_bytes"] = [](ServerStats& s, const std::string& v) {
+            s.buffered_bytes = parse_int(v, "buffered_bytes");
+        };
+        m["accepted"] = [](ServerStats& s, const std::string& v) {
+            s.accepted = stat_u64(v, "accepted");
+        };
+        m["rejected"] = [](ServerStats& s, const std::string& v) {
+            s.rejected = stat_u64(v, "rejected");
+        };
+        m["idle_timeouts"] = [](ServerStats& s, const std::string& v) {
+            s.idle_timeouts = stat_u64(v, "idle_timeouts");
+        };
+        m["send_failures"] = [](ServerStats& s, const std::string& v) {
+            s.send_failures = stat_u64(v, "send_failures");
+        };
+        m["pipelined"] = [](ServerStats& s, const std::string& v) {
+            s.pipelined = stat_u64(v, "pipelined");
+        };
+        m["pipeline_depth_max"] = [](ServerStats& s, const std::string& v) {
+            s.pipeline_depth_max = parse_int(v, "pipeline_depth_max");
+        };
+        m["q2r_p50_us"] = [](ServerStats& s, const std::string& v) {
+            s.q2r_p50_us = parse_double(v, "q2r_p50_us");
+        };
+        m["q2r_p95_us"] = [](ServerStats& s, const std::string& v) {
+            s.q2r_p95_us = parse_double(v, "q2r_p95_us");
+        };
+        m["q2r_p99_us"] = [](ServerStats& s, const std::string& v) {
+            s.q2r_p99_us = parse_double(v, "q2r_p99_us");
+        };
+        m["adapt_samples"] = [](ServerStats& s, const std::string& v) {
+            s.adapt_samples = stat_u64(v, "adapt_samples");
+        };
+        m["adapt_reliable"] = [](ServerStats& s, const std::string& v) {
+            s.adapt_reliable = stat_u64(v, "adapt_reliable");
+        };
+        m["adapt_drift"] = [](ServerStats& s, const std::string& v) {
+            s.adapt_drift = stat_u64(v, "adapt_drift");
+        };
+        m["adapt_republished"] = [](ServerStats& s, const std::string& v) {
+            s.adapt_republished = stat_u64(v, "adapt_republished");
+        };
+        m["adapt_model_version"] = [](ServerStats& s, const std::string& v) {
+            s.adapt_model_version = stat_u64(v, "adapt_model_version");
+        };
+        algo_entries(m);
+        return m;
+    }();
+    return table;
+}
+
+} // namespace
+
+ServerStats ServerStats::from_fields(const std::vector<StatField>& fields) {
+    ServerStats stats;
+    const auto& setters = stat_setters();
+    for (const StatField& field : fields) {
+        const auto it = setters.find(field.name);
+        if (it == setters.end()) {
+            stats.extras[field.name] = field.value;  // forward-compat
+            continue;
+        }
+        it->second(stats, field.value);
+    }
+    return stats;
 }
 
 Response handle_request(RequestEngine& engine, const Request& request) {

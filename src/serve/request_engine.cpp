@@ -49,8 +49,10 @@ std::uint64_t hash_name(const std::string& name) {
 RequestEngine::RequestEngine(ModelRegistry& registry, Options options)
     : registry_(registry),
       options_(options),
-      cache_(options.cache_capacity),
-      stale_(options.cache_capacity),
+      cache_(options.cache_capacity,
+             options.cache_shards == 0 ? 1 : options.cache_shards),
+      stale_(options.cache_capacity),  // name-keyed, engine-lock guarded:
+                                       // striping would buy nothing
       pool_(options.workers) {}
 
 RequestEngine::RequestEngine(ModelRegistry& registry)
@@ -259,11 +261,11 @@ RequestEngine::try_execute_cached(const PartitionRequest& request) {
     }
     const PlanKey key{set->fingerprint, request.n, request.algorithm,
                       request.with_layout};
-    std::shared_ptr<const PartitionPlan> plan;
-    {
-        std::lock_guard lock(inflight_mutex_);
-        plan = cache_.probe(key);  // a miss here is not a counted lookup
-    }
+    // No inflight_mutex_ here: the cache is internally synchronized (per
+    // stripe), plans are immutable, and a racing miss simply falls back
+    // to execute()'s conclusive locked lookup.  This is what lets N
+    // reactors run their fast paths without serializing on the engine.
+    std::shared_ptr<const PartitionPlan> plan = cache_.probe(key);
     if (!plan) {
         return std::nullopt;
     }
@@ -363,6 +365,8 @@ EngineStats RequestEngine::stats() const {
         stats.latency_by_algorithm[i] = latency_histograms_[i].snapshot();
     }
     stats.cache = cache_.stats();
+    stats.cache_shards = cache_.shard_count();
+    stats.cache_by_shard = cache_.shard_stats();
     return stats;
 }
 

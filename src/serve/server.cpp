@@ -297,10 +297,15 @@ struct SocketServer::Reactor {
                 }
                 break;  // EAGAIN, or the listener went away
             }
-            if (conns.size() >= config.max_connections) {
-                // Admission control: one typed line, then the door.  The
-                // socket is fresh, so the non-blocking send of a short
-                // line succeeds (or the peer is already gone).
+            // Admission control against the *global* budget: reserve a
+            // slot with one fetch_add (every reactor races on the same
+            // atomic, so the pool as a whole never exceeds
+            // max_connections), undo it on any failure below.
+            if (server.open_.fetch_add(1) >= config.max_connections) {
+                // One typed line, then the door.  The socket is fresh,
+                // so the non-blocking send of a short line succeeds (or
+                // the peer is already gone).
+                server.open_.fetch_sub(1);
                 metrics().rejected.add();
                 const std::string reply =
                     Response::make_error("busy").encode() + "\n";
@@ -313,6 +318,7 @@ struct SocketServer::Reactor {
                 // Simulated accept failure: the peer sees a raw close
                 // (as if the listener's backlog dropped it) and must
                 // reconnect.
+                server.open_.fetch_sub(1);
                 ::close(fd);
                 continue;
             }
@@ -326,13 +332,13 @@ struct SocketServer::Reactor {
             event.events = EPOLLIN;
             event.data.u64 = conn->id;
             if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+                server.open_.fetch_sub(1);
                 ::close(fd);
                 continue;
             }
             metrics().accepted.add();
             metrics().open_connections.add(1);
             server.accepted_.fetch_add(1);
-            server.open_.fetch_add(1);
             reschedule_idle(conn->id);
             conns.emplace(conn->id, std::move(conn));
         }
@@ -727,88 +733,141 @@ SocketServer::SocketServer(RequestEngine& engine)
 SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::start() {
-    FPM_CHECK(!running_.load() && !reactor_, "server already started");
+    FPM_CHECK(!running_.load() && reactors_.empty(), "server already started");
+    const std::size_t pool =
+        std::max<std::size_t>(config_.num_reactors, 1);
+    port_ = config_.port;
 
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    FPM_CHECK(fd >= 0, std::string("socket(): ") + std::strerror(errno));
-
-    int epoll_fd = -1;
-    int event_fd = -1;
     try {
-        const int one = 1;
-        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        for (std::size_t i = 0; i < pool; ++i) {
+            const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            FPM_CHECK(fd >= 0,
+                      std::string("socket(): ") + std::strerror(errno));
 
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_port = htons(config_.port);
-        FPM_CHECK(::inet_pton(AF_INET, config_.bind_address.c_str(),
-                              &addr.sin_addr) == 1,
-                  "invalid bind address: " + config_.bind_address);
-        FPM_CHECK(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
-                         sizeof addr) == 0,
-                  "bind(" + config_.bind_address + ":" +
-                      std::to_string(config_.port) +
-                      "): " + std::strerror(errno));
-        FPM_CHECK(::listen(fd, config_.backlog) == 0,
-                  std::string("listen(): ") + std::strerror(errno));
-        set_nonblocking(fd);
+            int epoll_fd = -1;
+            int event_fd = -1;
+            try {
+                const int one = 1;
+                ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+                if (pool > 1) {
+                    // Every listener of the pool binds the same port;
+                    // the kernel hashes incoming connections across
+                    // them.  A single reactor skips the option so the
+                    // default config reproduces prior releases exactly.
+                    FPM_CHECK(::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT,
+                                           &one, sizeof one) == 0,
+                              std::string("setsockopt(SO_REUSEPORT): ") +
+                                  std::strerror(errno));
+                }
 
-        sockaddr_in bound{};
-        socklen_t bound_len = sizeof bound;
-        FPM_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
-                                &bound_len) == 0,
-                  std::string("getsockname(): ") + std::strerror(errno));
-        port_ = ntohs(bound.sin_port);
+                sockaddr_in addr{};
+                addr.sin_family = AF_INET;
+                // port_ is config_.port for the first listener (possibly
+                // 0 = ephemeral) and the concrete bound port after it.
+                addr.sin_port = htons(port_);
+                FPM_CHECK(::inet_pton(AF_INET, config_.bind_address.c_str(),
+                                      &addr.sin_addr) == 1,
+                          "invalid bind address: " + config_.bind_address);
+                FPM_CHECK(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                                 sizeof addr) == 0,
+                          "bind(" + config_.bind_address + ":" +
+                              std::to_string(port_) +
+                              "): " + std::strerror(errno));
+                FPM_CHECK(::listen(fd, config_.backlog) == 0,
+                          std::string("listen(): ") + std::strerror(errno));
+                set_nonblocking(fd);
 
-        epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
-        FPM_CHECK(epoll_fd >= 0,
-                  std::string("epoll_create1(): ") + std::strerror(errno));
-        event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-        FPM_CHECK(event_fd >= 0,
-                  std::string("eventfd(): ") + std::strerror(errno));
+                sockaddr_in bound{};
+                socklen_t bound_len = sizeof bound;
+                FPM_CHECK(::getsockname(fd,
+                                        reinterpret_cast<sockaddr*>(&bound),
+                                        &bound_len) == 0,
+                          std::string("getsockname(): ") +
+                              std::strerror(errno));
+                port_ = ntohs(bound.sin_port);
 
-        epoll_event listen_event{};
-        listen_event.events = EPOLLIN;
-        listen_event.data.u64 = kListenTag;
-        FPM_CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &listen_event) == 0,
-                  std::string("epoll_ctl(listen): ") + std::strerror(errno));
-        epoll_event wake_event{};
-        wake_event.events = EPOLLIN;
-        wake_event.data.u64 = kEventTag;
-        FPM_CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd,
-                              &wake_event) == 0,
-                  std::string("epoll_ctl(eventfd): ") + std::strerror(errno));
+                epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+                FPM_CHECK(epoll_fd >= 0,
+                          std::string("epoll_create1(): ") +
+                              std::strerror(errno));
+                event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+                FPM_CHECK(event_fd >= 0,
+                          std::string("eventfd(): ") + std::strerror(errno));
+
+                epoll_event listen_event{};
+                listen_event.events = EPOLLIN;
+                listen_event.data.u64 = kListenTag;
+                FPM_CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd,
+                                      &listen_event) == 0,
+                          std::string("epoll_ctl(listen): ") +
+                              std::strerror(errno));
+                epoll_event wake_event{};
+                wake_event.events = EPOLLIN;
+                wake_event.data.u64 = kEventTag;
+                FPM_CHECK(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd,
+                                      &wake_event) == 0,
+                          std::string("epoll_ctl(eventfd): ") +
+                              std::strerror(errno));
+            } catch (...) {
+                ::close(fd);
+                if (epoll_fd >= 0) {
+                    ::close(epoll_fd);
+                }
+                if (event_fd >= 0) {
+                    ::close(event_fd);
+                }
+                throw;
+            }
+
+            auto queue = std::make_shared<CompletionQueue>(event_fd);
+            reactors_.push_back(std::make_unique<Reactor>(
+                *this, engine_, config_, epoll_fd, fd, std::move(queue)));
+        }
     } catch (...) {
-        ::close(fd);
-        if (epoll_fd >= 0) {
-            ::close(epoll_fd);
+        // Roll back the reactors already built (no threads run yet, so
+        // their fds are still ours to close).
+        for (auto& reactor : reactors_) {
+            reactor->completions->shutdown();  // closes the eventfd
+            if (reactor->listen_fd >= 0) {
+                ::close(reactor->listen_fd);
+            }
+            if (reactor->epoll_fd >= 0) {
+                ::close(reactor->epoll_fd);
+            }
         }
-        if (event_fd >= 0) {
-            ::close(event_fd);
-        }
+        reactors_.clear();
+        port_ = 0;
         throw;
     }
 
-    auto queue = std::make_shared<CompletionQueue>(event_fd);
-    reactor_ = std::make_unique<Reactor>(*this, engine_, config_, epoll_fd,
-                                         fd, queue);
     running_.store(true);
-    loop_thread_ = std::thread([reactor = reactor_.get()]() {
-        reactor->run();
-    });
+    ReactorMetrics::get().reactors.set(static_cast<std::int64_t>(pool));
+    threads_.reserve(pool);
+    for (auto& reactor : reactors_) {
+        threads_.emplace_back(
+            [reactor = reactor.get()]() { reactor->run(); });
+    }
 }
 
 void SocketServer::stop() {
     if (!running_.exchange(false)) {
         return;
     }
-    reactor_->stop_requested.store(true, std::memory_order_release);
-    reactor_->completions->wake();
-    if (loop_thread_.joinable()) {
-        loop_thread_.join();
+    for (auto& reactor : reactors_) {
+        reactor->stop_requested.store(true, std::memory_order_release);
+        reactor->completions->wake();
     }
-    reactor_->completions->shutdown();  // closes the eventfd
-    reactor_.reset();
+    for (auto& thread : threads_) {
+        if (thread.joinable()) {
+            thread.join();
+        }
+    }
+    threads_.clear();
+    for (auto& reactor : reactors_) {
+        reactor->completions->shutdown();  // closes the eventfd
+    }
+    reactors_.clear();
+    ReactorMetrics::get().reactors.set(0);
 }
 
 } // namespace fpm::serve

@@ -87,6 +87,14 @@ TEST(DocsConsistency, OperationsRunbookCoversEveryServeConfigKnob) {
             << "ServeConfig::" << field << " is not documented in "
             << "docs/operations.md";
     }
+    // The reactor pool's operator surface: the flags and the load-balance
+    // mechanism must be named, and the cache_shards engine knob (which
+    // lives in RequestEngine::Options, outside ServeConfig) too.
+    for (const char* token :
+         {"--reactors", "--cache-shards", "SO_REUSEPORT", "cache_shards"}) {
+        EXPECT_NE(runbook.find(token), std::string::npos)
+            << "'" << token << "' is not documented in docs/operations.md";
+    }
 }
 
 TEST(DocsConsistency, OperationsRunbookCoversEveryStatsField) {
@@ -130,7 +138,8 @@ TEST(DocsConsistency, ProtocolSpecCoversEveryVerbAndHealthField) {
          {"OK PONG", "OK HEALTH", "OK PARTITION", "OK FEEDBACK", "ERR ",
           "degraded=", "live=", "ready=", "faults=", "coalesced=",
           "reliable=", "republished=", "feedback not enabled",
-          "unknown command"}) {
+          "unknown command", "cache_shards=", "reactors=",
+          "ServerStats"}) {
         EXPECT_NE(spec.find(token), std::string::npos)
             << "token '" << token << "' is not documented in docs/protocol.md";
     }
@@ -185,7 +194,8 @@ TEST(DocsConsistency, DesignDocDescribesTheCurrentArchitecture) {
     const std::string design = read_file("DESIGN.md");
     for (const char* token :
          {"fpm::fault", "epoll", "reactor", "degraded", "RequestEngine",
-          "fpm::adapt", "FEEDBACK"}) {
+          "fpm::adapt", "FEEDBACK", "SO_REUSEPORT", "num_reactors",
+          "cache_shards"}) {
         EXPECT_NE(design.find(token), std::string::npos)
             << "DESIGN.md does not mention '" << token << "'";
     }
@@ -194,6 +204,11 @@ TEST(DocsConsistency, DesignDocDescribesTheCurrentArchitecture) {
     EXPECT_EQ(design.find("thread-per-connection"), std::string::npos)
         << "DESIGN.md still describes the retired thread-per-connection "
         << "server";
+    // The reactor pool is described as a *single* shared-nothing loop per
+    // reactor, never as the old one-loop-total architecture.
+    EXPECT_EQ(design.find("is a **single-threaded epoll reactor**"),
+              std::string::npos)
+        << "DESIGN.md still describes the retired one-reactor server";
 }
 
 } // namespace

@@ -4,7 +4,8 @@
 // errors, the HEALTH endpoint, and the headline chaos test — randomized
 // fault schedules against the pipelined reactor harness where every
 // request must succeed bit-for-bit, come back as a well-formed degraded
-// plan, or fail cleanly.  No hangs, no torn replies.
+// plan, or fail cleanly.  No hangs, no torn replies — at one reactor
+// and across the 4-reactor SO_REUSEPORT pool with a sharded plan cache.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -449,12 +450,17 @@ TEST(FaultClient, RetriesThroughBusyRejections) {
 // plan, or fail cleanly with a typed error.  Zero torn replies.
 // ---------------------------------------------------------------------------
 
-TEST(FaultChaos, PipelinedRequestsSurviveInjectedFaults) {
+void chaos_pipelined_requests(std::size_t num_reactors,
+                              std::size_t cache_shards) {
     FaultGuard guard;
     ModelRegistry registry;
     const auto alpha = registry.put("alpha", synthetic_models(4, 96, 1.0));
-    RequestEngine engine(registry, {.workers = 4, .cache_capacity = 256});
-    SocketServer server(engine);
+    RequestEngine engine(registry, {.workers = 4,
+                                    .cache_capacity = 256,
+                                    .cache_shards = cache_shards});
+    ServeConfig server_config;
+    server_config.num_reactors = num_reactors;
+    SocketServer server(engine, server_config);
     server.start();
 
     const std::int64_t ns[] = {24, 30, 36, 42};
@@ -619,6 +625,17 @@ TEST(FaultChaos, PipelinedRequestsSurviveInjectedFaults) {
             << "injection point never reached: " << name;
     }
     EXPECT_GT(fault::injected_total(), 0u);
+}
+
+TEST(FaultChaos, PipelinedRequestsSurviveInjectedFaults) {
+    chaos_pipelined_requests(1, 1);
+}
+
+// Same schedule against the 4-reactor SO_REUSEPORT pool with a sharded
+// plan cache: faults land on whichever reactor owns the connection, and
+// the torn-reply count must still be exactly zero.
+TEST(FaultChaos, FourReactorPoolSurvivesInjectedFaults) {
+    chaos_pipelined_requests(4, 4);
 }
 
 } // namespace

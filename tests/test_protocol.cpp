@@ -464,6 +464,95 @@ TEST(ProtocolFuzz, WrongArityRepliesAreErrors) {
 }
 
 // ---------------------------------------------------------------------------
+// Typed STATS: ServerStats::from_fields
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolServerStats, FullStatsReplyParsesWithNoExtras) {
+    // Every field the current revision emits must be *known* to the
+    // typed parser: a field leaking into extras means make_stats_reply
+    // and from_fields drifted apart.
+    EngineStats engine;
+    engine.requests = 12;
+    engine.computed = 7;
+    engine.coalesced = 2;
+    engine.degraded = 1;
+    engine.cache.hits = 3;
+    engine.cache.misses = 9;
+    engine.cache.evictions = 4;
+    engine.cache.size = 5;
+    engine.cache_shards = 8;
+    const Response encoded = make_stats_reply(engine, 2);
+    const Response decoded = Response::decode(encoded.encode());
+    ASSERT_EQ(decoded.kind, Response::Kind::kStats);
+
+    const ServerStats stats = ServerStats::from_fields(decoded.stats);
+    EXPECT_EQ(stats.requests, 12u);
+    EXPECT_EQ(stats.computed, 7u);
+    EXPECT_EQ(stats.coalesced, 2u);
+    EXPECT_EQ(stats.degraded, 1u);
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.misses, 9u);
+    EXPECT_EQ(stats.evictions, 4u);
+    EXPECT_EQ(stats.cache_size, 5u);
+    EXPECT_EQ(stats.cache_shards, 8u);
+    EXPECT_EQ(stats.models, 2u);
+    EXPECT_TRUE(stats.extras.empty()) << stats.extras.begin()->first;
+}
+
+TEST(ProtocolServerStats, UnknownFieldsArePreservedInExtras) {
+    const std::vector<StatField> fields = {
+        {"requests", "5"},
+        {"some_future_field", "42"},
+        {"another", "x=y-ish"},
+    };
+    const ServerStats stats = ServerStats::from_fields(fields);
+    EXPECT_EQ(stats.requests, 5u);
+    ASSERT_EQ(stats.extras.size(), 2u);
+    EXPECT_EQ(stats.extras.at("some_future_field"), "42");
+    EXPECT_EQ(stats.extras.at("another"), "x=y-ish");
+}
+
+TEST(ProtocolServerStats, MalformedKnownValuesThrow) {
+    for (const StatField& bad :
+         {StatField{"requests", "abc"}, StatField{"requests", ""},
+          StatField{"q2r_p50_us", "fast"}, StatField{"open_conns", "1x"},
+          StatField{"reactors", "-"}, StatField{"cache_shards", "four"}}) {
+        EXPECT_THROW((void)ServerStats::from_fields({bad}), fpm::Error)
+            << bad.name << "=" << bad.value;
+    }
+}
+
+TEST(ProtocolFuzz, RandomStatFieldsNeverEscapeAsNonError) {
+    Rng rng(0x57a757a75ULL);
+    const std::vector<std::string> names = {
+        "requests",  "computed",  "hits",        "reactors", "cache_shards",
+        "open_conns", "q2r_p50_us", "mystery", "fpm_count", "adapt_samples"};
+    const std::string alphabet = "0123456789.-+eXz ";
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<StatField> fields;
+        const int count = static_cast<int>(rng.uniform_int(0, 6));
+        for (int f = 0; f < count; ++f) {
+            std::string value;
+            const int length = static_cast<int>(rng.uniform_int(0, 10));
+            for (int j = 0; j < length; ++j) {
+                value += alphabet[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+            }
+            fields.push_back({names[static_cast<std::size_t>(rng.uniform_int(
+                                  0,
+                                  static_cast<std::int64_t>(names.size()) -
+                                      1))],
+                              value});
+        }
+        try {
+            (void)ServerStats::from_fields(fields);
+        } catch (const Error&) {
+            // malformed known value: typed error, never a crash
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Request fingerprints
 // ---------------------------------------------------------------------------
 

@@ -140,6 +140,48 @@ TEST(PartitionCacheTest, LruEvictionAndCounters) {
     EXPECT_THROW(PartitionCache(0), fpm::Error);
 }
 
+TEST(PartitionCacheTest, ShardingKeepsSemanticsAndSumsCounters) {
+    // 3 stripes round up to 4 (power of two); every key of one
+    // fingerprint lands on one stripe, so invalidation is single-shard.
+    PartitionCache cache(8, 3);
+    EXPECT_EQ(cache.shard_count(), 4U);
+
+    constexpr std::uint64_t kFingerprints[] = {11, 22, 33, 44, 55};
+    for (const std::uint64_t fp : kFingerprints) {
+        cache.put(PlanKey{fp, 10, Algorithm::kFpm, true}, plan_of(1.0));
+        cache.put(PlanKey{fp, 20, Algorithm::kFpm, true}, plan_of(2.0));
+        EXPECT_NE(cache.get(PlanKey{fp, 10, Algorithm::kFpm, true}), nullptr);
+        EXPECT_EQ(cache.get(PlanKey{fp, 99, Algorithm::kFpm, true}), nullptr);
+    }
+
+    // Per-shard counters sum field-wise to the global view.
+    const auto global = cache.stats();
+    const auto shards = cache.shard_stats();
+    ASSERT_EQ(shards.size(), cache.shard_count());
+    CacheStats sum;
+    for (const auto& shard : shards) {
+        sum.hits += shard.hits;
+        sum.misses += shard.misses;
+        sum.evictions += shard.evictions;
+        sum.size += shard.size;
+    }
+    EXPECT_EQ(sum.hits, global.hits);
+    EXPECT_EQ(sum.misses, global.misses);
+    EXPECT_EQ(sum.evictions, global.evictions);
+    EXPECT_EQ(sum.size, global.size);
+    EXPECT_EQ(global.hits, 5U);
+    EXPECT_EQ(global.misses, 5U);
+
+    // Invalidating one fingerprint leaves every other one servable.
+    cache.erase_fingerprint(33);
+    EXPECT_EQ(cache.get(PlanKey{33, 10, Algorithm::kFpm, true}), nullptr);
+    EXPECT_EQ(cache.get(PlanKey{33, 20, Algorithm::kFpm, true}), nullptr);
+    EXPECT_NE(cache.get(PlanKey{22, 10, Algorithm::kFpm, true}), nullptr);
+    EXPECT_NE(cache.get(PlanKey{44, 20, Algorithm::kFpm, true}), nullptr);
+
+    EXPECT_THROW(PartitionCache(8, 0), fpm::Error);
+}
+
 TEST(PartitionCacheTest, KeyOrderingDiscriminatesEveryField) {
     const PlanKey base{7, 10, Algorithm::kFpm, true};
     PlanKey other = base;
@@ -268,18 +310,29 @@ TEST(Protocol, HandleLineBasics) {
     EXPECT_EQ(parsed.blocks.size(), 2U);
     EXPECT_EQ(parsed.rects.size(), 2U);
 
-    // Two PARTITION lines hit the engine (the failed one still counts).
-    const std::string stats = handle_line(engine, "STATS");
-    EXPECT_NE(stats.find("OK STATS requests=2"), std::string::npos) << stats;
-    EXPECT_NE(stats.find("computed=1"), std::string::npos) << stats;
+    // Two PARTITION lines hit the engine (the failed one still counts);
+    // the STATS reply round-trips into the typed ServerStats view.
+    const Response stats_response =
+        Response::decode(handle_line(engine, "STATS"));
+    ASSERT_EQ(stats_response.kind, Response::Kind::kStats);
+    const ServerStats stats = ServerStats::from_fields(stats_response.stats);
+    EXPECT_EQ(stats.requests, 2U);
+    EXPECT_EQ(stats.computed, 1U);
 
     // Per-algorithm latency quantiles: only the fpm request completed.
-    EXPECT_NE(stats.find(" fpm_count=1"), std::string::npos) << stats;
-    EXPECT_NE(stats.find(" fpm_p50_us="), std::string::npos) << stats;
-    EXPECT_NE(stats.find(" fpm_p95_us="), std::string::npos) << stats;
-    EXPECT_NE(stats.find(" fpm_p99_us="), std::string::npos) << stats;
-    EXPECT_NE(stats.find(" cpm_count=0"), std::string::npos) << stats;
-    EXPECT_NE(stats.find(" even_count=0"), std::string::npos) << stats;
+    const AlgorithmStats& fpm_lat =
+        stats.by_algorithm[static_cast<std::size_t>(Algorithm::kFpm)];
+    EXPECT_EQ(fpm_lat.count, 1U);
+    EXPECT_GT(fpm_lat.p50_us, 0.0);
+    EXPECT_GE(fpm_lat.p95_us, fpm_lat.p50_us);
+    EXPECT_GE(fpm_lat.p99_us, fpm_lat.p95_us);
+    EXPECT_EQ(stats.by_algorithm[static_cast<std::size_t>(Algorithm::kCpm)]
+                  .count,
+              0U);
+    EXPECT_EQ(stats.by_algorithm[static_cast<std::size_t>(Algorithm::kEven)]
+                  .count,
+              0U);
+    EXPECT_TRUE(stats.extras.empty()) << stats.extras.begin()->first;
 
     EXPECT_THROW(parse_partition_reply("ERR kaput"), fpm::Error);
     EXPECT_THROW(parse_partition_reply("OK PONG"), fpm::Error);
@@ -539,9 +592,10 @@ TEST(ServeIntegration, WireLoadStatsAndQuit) {
         client.partition({"wired", 20, Algorithm::kFpm, true});
     EXPECT_EQ(reply.blocks.size(), 2U);
 
-    const std::string stats = client.request("STATS");
-    EXPECT_EQ(stats.rfind("OK STATS ", 0), 0U) << stats;
-    EXPECT_NE(stats.find("models=1"), std::string::npos) << stats;
+    // Typed STATS round trip: the hot-loaded registry entry is counted.
+    const ServerStats stats = client.stats();
+    EXPECT_EQ(stats.models, 1U);
+    EXPECT_EQ(stats.reactors, 1U);
 
     // Malformed input answers ERR but keeps the connection usable.
     EXPECT_EQ(client.request("PARTITION nope 10 fpm").rfind("ERR ", 0), 0U);

@@ -4,7 +4,12 @@
 // concurrent pipelined clients), slow-loris eviction by the idle-timeout
 // timer wheel, max_connections admission control, graceful drain of
 // in-flight requests on stop(), and the reactor fields surfaced through
-// STATS.
+// STATS.  The ServeReactorPool suite reruns the parity and admission
+// workloads against a 4-reactor SO_REUSEPORT pool — replies must stay
+// bit-for-bit identical at every reactor count, the max_connections
+// budget must stay global, drain must complete on every reactor, and
+// the STATS aggregation invariant (per-shard cache counters summing to
+// the global ones) must hold.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -69,15 +74,18 @@ std::string partition_line(const std::string& model, std::int64_t n,
 
 // ---------------------------------------------------------------------------
 // 64 concurrent pipelined clients, responses bit-for-bit vs the direct
-// library call and strictly in request order.
+// library call and strictly in request order — at any reactor count.
 // ---------------------------------------------------------------------------
-TEST(ServeReactor, PipelinedClientsMatchDirectLibraryCalls) {
+void pipelined_parity_against_direct(std::size_t num_reactors) {
     ModelRegistry registry;
     const auto alpha = registry.put("alpha", synthetic_models(4, 200, 1.0));
     const auto beta = registry.put("beta", synthetic_models(3, 200, 1.7));
     RequestEngine engine(registry, {.workers = 4, .cache_capacity = 256});
-    SocketServer server(engine);
+    ServeConfig config;
+    config.num_reactors = num_reactors;
+    SocketServer server(engine, config);
     server.start();
+    ASSERT_EQ(server.num_reactors(), num_reactors);
 
     const ReactorMetrics& metrics = ReactorMetrics::get();
     const std::uint64_t pipelined_before = metrics.pipelined.value();
@@ -165,8 +173,24 @@ TEST(ServeReactor, PipelinedClientsMatchDirectLibraryCalls) {
     // ones were still in flight.
     EXPECT_GT(metrics.pipelined.value(), pipelined_before);
 
+    // The typed STATS surface reports the pool size while it runs.
+    {
+        ServeClient probe("127.0.0.1", server.port());
+        const ServerStats stats = probe.stats();
+        EXPECT_EQ(stats.reactors, num_reactors);
+        EXPECT_GE(stats.requests, kClients * kRequestsPerClient);
+    }
+
     server.stop();
     EXPECT_FALSE(server.running());
+}
+
+TEST(ServeReactor, PipelinedClientsMatchDirectLibraryCalls) {
+    pipelined_parity_against_direct(1);
+}
+
+TEST(ServeReactorPool, FourReactorsMatchDirectLibraryCallsBitForBit) {
+    pipelined_parity_against_direct(4);
 }
 
 // ---------------------------------------------------------------------------
@@ -200,21 +224,16 @@ TEST(ServeReactor, MixedPipelineKeepsRequestOrder) {
     EXPECT_EQ(replies[4], "OK PONG v" + std::to_string(kProtocolVersion));
     EXPECT_EQ(replies[5].rfind("OK STATS ", 0), 0U) << replies[5];
 
-    // The reactor's lifecycle fields travel through STATS.
-    const Response stats = Response::decode(replies[5]);
-    ASSERT_EQ(stats.kind, Response::Kind::kStats);
-    bool saw_open_conns = false, saw_q2r = false, saw_pipelined = false;
-    for (const StatField& field : stats.stats) {
-        if (field.name == "open_conns") {
-            saw_open_conns = true;
-            EXPECT_GE(std::stoll(field.value), 1) << field.value;
-        }
-        saw_q2r = saw_q2r || field.name == "q2r_p50_us";
-        saw_pipelined = saw_pipelined || field.name == "pipelined";
-    }
-    EXPECT_TRUE(saw_open_conns);
-    EXPECT_TRUE(saw_q2r);
-    EXPECT_TRUE(saw_pipelined);
+    // The reactor's lifecycle fields travel through STATS, fully typed:
+    // every known field lands in ServerStats, nothing leaks to extras.
+    const Response stats_response = Response::decode(replies[5]);
+    ASSERT_EQ(stats_response.kind, Response::Kind::kStats);
+    const ServerStats stats = ServerStats::from_fields(stats_response.stats);
+    EXPECT_GE(stats.open_conns, 1);
+    EXPECT_GE(stats.q2r_p50_us, 0.0);
+    EXPECT_EQ(stats.reactors, 1U);
+    EXPECT_EQ(stats.cache_shards, 1U);  // default single-stripe cache
+    EXPECT_TRUE(stats.extras.empty()) << stats.extras.begin()->first;
 
     server.stop();
 }
@@ -266,14 +285,17 @@ TEST(ServeReactor, SlowLorisEvictedByIdleTimeout) {
 
 // ---------------------------------------------------------------------------
 // Admission control: connections beyond max_connections get a typed
-// `ERR busy` and are closed; admitted ones keep working.
+// `ERR busy` and are closed; admitted ones keep working.  The budget is
+// global — with a reactor pool, the kernel may spread the connections
+// over different reactors and the cap must still hold pool-wide.
 // ---------------------------------------------------------------------------
-TEST(ServeReactor, MaxConnectionsRejectsWithBusy) {
+void admission_budget_is_enforced(std::size_t num_reactors) {
     ModelRegistry registry;
     registry.put("hybrid", synthetic_models(2, 16, 1.0));
     RequestEngine engine(registry, {.workers = 1, .cache_capacity = 8});
     ServeConfig config;
     config.max_connections = 2;
+    config.num_reactors = num_reactors;
     SocketServer server(engine, config);
     server.start();
 
@@ -310,6 +332,14 @@ TEST(ServeReactor, MaxConnectionsRejectsWithBusy) {
         }
     }
     server.stop();
+}
+
+TEST(ServeReactor, MaxConnectionsRejectsWithBusy) {
+    admission_budget_is_enforced(1);
+}
+
+TEST(ServeReactorPool, MaxConnectionsBudgetIsGlobalAcrossReactors) {
+    admission_budget_is_enforced(4);
 }
 
 // ---------------------------------------------------------------------------
@@ -377,6 +407,134 @@ TEST(ServeReactor, PeerHangupDoesNotWedgeTheReactor) {
     EXPECT_EQ(server.open_connections(), 0U);
     ServeClient survivor("127.0.0.1", server.port());
     survivor.ping();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain under load across the pool: with requests in flight on
+// several connections (the kernel spreads them over the reactors),
+// stop() must flush every response before any connection closes.
+// ---------------------------------------------------------------------------
+TEST(ServeReactorPool, GracefulDrainCompletesInFlightOnEveryReactor) {
+    ModelRegistry registry;
+    registry.put("big", synthetic_models(6, 600, 1.0));
+    RequestEngine engine(registry, {.workers = 4, .cache_capacity = 32});
+    ServeConfig config;
+    config.num_reactors = 4;
+    SocketServer server(engine, config);
+    server.start();
+
+    constexpr std::size_t kClients = 8;
+    const std::uint64_t requests_before = engine.stats().requests;
+    std::vector<std::string> reply_lines(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i]() {
+            ServeClient client("127.0.0.1", server.port());
+            // Distinct n per client: no coalescing, every request is its
+            // own in-flight computation when stop() lands.
+            client.send_lines({partition_line(
+                "big", 48 + 8 * static_cast<std::int64_t>(i),
+                Algorithm::kFpm)});
+            reply_lines[i] = client.read_replies(1)[0];
+        });
+    }
+
+    // Wait until every request is genuinely in flight on the engine.
+    for (int i = 0;
+         i < 1000 && engine.stats().requests < requests_before + kClients;
+         ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(engine.stats().requests, requests_before + kClients)
+        << "requests never reached the engine";
+
+    server.stop();  // must drain all reactors, not just one
+    for (auto& thread : clients) {
+        thread.join();
+    }
+
+    for (std::size_t i = 0; i < kClients; ++i) {
+        const PartitionReply reply = parse_partition_reply(reply_lines[i]);
+        EXPECT_EQ(reply.model, "big") << i;
+        EXPECT_EQ(reply.n, 48 + 8 * static_cast<std::int64_t>(i)) << i;
+    }
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.open_connections(), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// STATS aggregation invariants: the per-shard cache counters sum
+// field-wise to the global ones, and the typed STATS reply reports the
+// pool size and stripe count the server was configured with.
+// ---------------------------------------------------------------------------
+TEST(ServeReactorPool, StatsAggregationSumsShardsToGlobalCounters) {
+    // Striping is keyed on the model-set fingerprint (all plans of one
+    // set share a stripe so invalidation stays single-shard), so several
+    // sets are needed to populate several stripes.
+    ModelRegistry registry;
+    const std::vector<std::string> sets = {"s0", "s1", "s2", "s3", "s4",
+                                           "s5", "s6", "s7"};
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        registry.put(sets[i], synthetic_models(3, 64, 1.0 + 0.1 *
+                                                          static_cast<double>(i)));
+    }
+    RequestEngine engine(registry, {.workers = 2,
+                                    .cache_capacity = 64,
+                                    .cache_shards = 4});
+    ServeConfig config;
+    config.num_reactors = 4;
+    SocketServer server(engine, config);
+    server.start();
+
+    // Two passes over distinct requests: first misses, second hits,
+    // spread over the stripes by the model-set fingerprints.
+    ServeClient client("127.0.0.1", server.port());
+    for (int pass = 0; pass < 2; ++pass) {
+        std::vector<std::string> lines;
+        for (const auto& set : sets) {
+            for (std::int64_t n = 24; n <= 32; n += 4) {
+                lines.push_back(partition_line(set, n, Algorithm::kFpm));
+            }
+        }
+        const auto replies = client.pipeline(lines);
+        for (const auto& reply : replies) {
+            EXPECT_EQ(reply.rfind("OK PARTITION ", 0), 0U) << reply;
+        }
+    }
+
+    const EngineStats engine_stats = engine.stats();
+    ASSERT_EQ(engine_stats.cache_shards, 4U);
+    ASSERT_EQ(engine_stats.cache_by_shard.size(), 4U);
+    CacheStats sum;
+    for (const CacheStats& shard : engine_stats.cache_by_shard) {
+        sum.hits += shard.hits;
+        sum.misses += shard.misses;
+        sum.evictions += shard.evictions;
+        sum.size += shard.size;
+    }
+    EXPECT_EQ(sum.hits, engine_stats.cache.hits);
+    EXPECT_EQ(sum.misses, engine_stats.cache.misses);
+    EXPECT_EQ(sum.evictions, engine_stats.cache.evictions);
+    EXPECT_EQ(sum.size, engine_stats.cache.size);
+    EXPECT_GT(engine_stats.cache.hits, 0U);    // second pass hit
+    EXPECT_GT(engine_stats.cache.misses, 0U);  // first pass missed
+    // 8 distinct set fingerprints over 4 stripes: more than one used.
+    std::size_t populated = 0;
+    for (const CacheStats& shard : engine_stats.cache_by_shard) {
+        populated += shard.size > 0 ? 1 : 0;
+    }
+    EXPECT_GE(populated, 2U);
+
+    // The same invariants through the wire, typed.
+    const ServerStats stats = client.stats();
+    EXPECT_EQ(stats.reactors, 4U);
+    EXPECT_EQ(stats.cache_shards, 4U);
+    EXPECT_EQ(stats.hits, engine_stats.cache.hits);
+    EXPECT_EQ(stats.misses, engine_stats.cache.misses);
+    EXPECT_EQ(stats.cache_size, engine_stats.cache.size);
+    EXPECT_TRUE(stats.extras.empty()) << stats.extras.begin()->first;
+
     server.stop();
 }
 

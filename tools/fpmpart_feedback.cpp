@@ -35,10 +35,6 @@
 
 namespace {
 
-constexpr const char* kUsage =
-    "usage: fpmpart_feedback --csv FILE [--host H] [--port P]\n"
-    "                        [--repeat N] [--batch N] [--trace FILE]\n";
-
 struct Row {
     fpm::serve::FeedbackSample sample;
     std::size_t line = 0;  // 1-based CSV line, for diagnostics
@@ -71,7 +67,7 @@ std::vector<Row> load_csv(const std::string& path) {
         Row row;
         row.line = lineno;
         row.sample.model_set = set;
-        row.sample.device = fpmtool::ArgParser::parse_int(
+        row.sample.device = fpmtool::parse_int(
             device, "device (line " + std::to_string(lineno) + ")");
         errno = 0;
         char* end = nullptr;
@@ -95,32 +91,25 @@ std::vector<Row> load_csv(const std::string& path) {
 int main(int argc, char** argv) {
     using namespace fpm;
     try {
-        std::string host;
+        std::string host = "127.0.0.1";
         std::string csv_path;
-        long long port = 0;
+        std::uint16_t port = 0;
         long long repeat = 1;
         long long batch = 32;
-        try {
-            const fpmtool::ArgParser args(argc, argv,
-                                          {"--csv", "--host", "--port",
-                                           "--repeat", "--batch", "--trace"});
-            fpmtool::init_tracing(args);
-            FPM_CHECK(args.has("--csv"), "--csv is required");
-            csv_path = args.value("--csv", "");
-            host = args.value("--host", "127.0.0.1");
-            port = args.int_value("--port", 0);
-            FPM_CHECK(port >= 1 && port <= 65535, "--port out of range");
-            repeat = args.int_value("--repeat", 1);
-            FPM_CHECK(repeat >= 1, "--repeat must be positive");
-            batch = args.int_value("--batch", 32);
-            FPM_CHECK(batch >= 1, "--batch must be positive");
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+
+        fpmtool::FlagTable flags("fpmpart_feedback");
+        flags.bind("--csv", "FILE", &csv_path).require()
+            .bind("--host", "H", &host)
+            .bind("--port", "P", &port, 1, 65535).require()
+            .bind("--repeat", "N", &repeat, 1)
+            .bind("--batch", "N", &batch, 1)
+            .trace();
+        if (!flags.parse(argc, argv)) {
             return 2;
         }
 
         const std::vector<Row> rows = load_csv(csv_path);
-        serve::ServeClient client(host, static_cast<std::uint16_t>(port));
+        serve::ServeClient client(host, port);
 
         std::uint64_t sent = 0;
         std::uint64_t rejected = 0;

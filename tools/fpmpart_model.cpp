@@ -7,13 +7,9 @@
 //   --source sim      the simulated ig.icl.utk.edu node (default)
 //   --source host     the real GEMM on this machine (one CPU device)
 //
-// Usage:
-//   fpmpart_model [--source sim|host] [--config hybrid|cpu|gpu0|gpu1]
-//                 [--version 1|2|3] [--noise SIGMA] [--xmax BLOCKS]
-//                 [--points N] [--out FILE] [--trace FILE]
-//
 // Defaults: --source sim --config hybrid --version 3 --noise 0
 //           --xmax 5200 --points 44 --out models.csv
+// (run with an unknown flag to see the generated usage text)
 #include <cstdio>
 #include <string>
 
@@ -21,52 +17,32 @@
 #include "fpm/core/model_io.hpp"
 #include "tool_args.hpp"
 
-namespace {
-
-constexpr const char* kUsage =
-    "usage: fpmpart_model [--source sim|host] [--config hybrid|cpu|gpu0|gpu1]\n"
-    "                     [--version 1|2|3] [--noise SIGMA] [--xmax BLOCKS]\n"
-    "                     [--points N] [--out FILE] [--trace FILE]\n";
-
-} // namespace
-
 int main(int argc, char** argv) {
     using namespace fpm;
     try {
-        std::string source;
-        std::string config;
+        std::string source = "sim";
+        std::string config = "hybrid";
         int version_arg = 3;
         double noise = 0.0;
         double x_max = 5200.0;
         std::size_t points = 44;
-        std::string out;
-        try {
-            const fpmtool::ArgParser args(argc, argv,
-                                          {"--source", "--config", "--version",
-                                           "--noise", "--xmax", "--points",
-                                           "--out", "--trace"});
-            source = args.value("--source", "sim");
-            fpmtool::init_tracing(args);
-            config = args.value("--config", "hybrid");
-            version_arg = static_cast<int>(args.int_value("--version", 3));
-            noise = args.double_value("--noise", 0.0);
-            x_max = args.double_value("--xmax", 5200.0);
-            const long long points_arg = args.int_value("--points", 44);
-            FPM_CHECK(points_arg > 0, "--points must be positive");
-            points = static_cast<std::size_t>(points_arg);
-            out = args.value("--out", "models.csv");
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
-            return 2;
-        }
-        if (version_arg < 1 || version_arg > 3) {
-            std::fprintf(stderr, "unknown --version '%d'\n%s", version_arg,
-                         kUsage);
+        std::string out = "models.csv";
+
+        fpmtool::FlagTable flags("fpmpart_model");
+        flags.bind("--source", "sim|host", &source)
+            .bind("--config", "hybrid|cpu|gpu0|gpu1", &config)
+            .bind("--version", "1|2|3", &version_arg, 1, 3)
+            .bind("--noise", "SIGMA", &noise, 0.0)
+            .bind("--xmax", "BLOCKS", &x_max, 1.0)
+            .bind("--points", "N", &points, 1)
+            .bind("--out", "FILE", &out)
+            .trace();
+        if (!flags.parse(argc, argv)) {
             return 2;
         }
         if (source != "sim" && source != "host") {
             std::fprintf(stderr, "unknown --source '%s'\n%s", source.c_str(),
-                         kUsage);
+                         flags.usage().c_str());
             return 2;
         }
 
@@ -116,7 +92,7 @@ int main(int argc, char** argv) {
                 set = app::single_gpu_devices(node, 1, kernel_version);
             } else {
                 std::fprintf(stderr, "unknown --config '%s'\n%s",
-                             config.c_str(), kUsage);
+                             config.c_str(), flags.usage().c_str());
                 return 2;
             }
             models = app::build_device_fpms(node, set, options);

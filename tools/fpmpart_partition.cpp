@@ -22,45 +22,28 @@
 #include "fpm/trace/table.hpp"
 #include "tool_args.hpp"
 
-namespace {
-
-constexpr const char* kUsage =
-    "usage: fpmpart_partition --models FILE --n SIZE "
-    "[--algorithm fpm|cpm|even] [--layout-out FILE] [--trace FILE]\n";
-
-} // namespace
-
 int main(int argc, char** argv) {
     using namespace fpm;
     try {
         std::string models_path;
         std::int64_t n = 0;
-        std::string algorithm_text;
+        std::string algorithm_text = "fpm";
         std::string layout_out;
-        std::optional<part::Algorithm> algorithm;
-        try {
-            const fpmtool::ArgParser args(
-                argc, argv,
-                {"--models", "--n", "--algorithm", "--layout-out", "--trace"});
-            models_path = args.value("--models", "");
-            n = args.int_value("--n", 0);
-            algorithm_text = args.value("--algorithm", "fpm");
-            layout_out = args.value("--layout-out", "");
-            fpmtool::init_tracing(args);
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
-            return 2;
-        }
 
-        if (models_path.empty() || n <= 0) {
-            std::fprintf(stderr, "%s", kUsage);
+        fpmtool::FlagTable flags("fpmpart_partition");
+        flags.bind("--models", "FILE", &models_path).require()
+            .bind("--n", "SIZE", &n, 1).require()
+            .bind("--algorithm", "fpm|cpm|even", &algorithm_text)
+            .bind("--layout-out", "FILE", &layout_out)
+            .trace();
+        if (!flags.parse(argc, argv)) {
             return 2;
         }
         // Reject a bad algorithm before paying for the model load.
-        algorithm = part::parse_algorithm(algorithm_text);
+        const auto algorithm = part::parse_algorithm(algorithm_text);
         if (!algorithm.has_value()) {
             std::fprintf(stderr, "unknown --algorithm '%s'\n%s",
-                         algorithm_text.c_str(), kUsage);
+                         algorithm_text.c_str(), flags.usage().c_str());
             return 2;
         }
 

@@ -2,8 +2,9 @@
 //
 // Loads one or more model CSVs (built by fpmpart_model) into the
 // fpm::serve model registry and answers the line protocol on a loopback
-// TCP port with a single-threaded epoll reactor (pipelined requests,
-// admission control, idle eviction):
+// TCP port with a pool of epoll reactors (pipelined requests, admission
+// control, idle eviction; `--reactors N` > 1 binds N SO_REUSEPORT
+// listeners and lets the kernel spread connections across them):
 //
 //   PING                                    liveness probe
 //   LOAD <name> <path>                      hot-(re)load a model set
@@ -23,105 +24,59 @@
 // launch to arm deterministic injection points; the armed rule count is
 // printed on startup.
 //
-// Usage:
-//   fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]
-//                 [--port P] [--bind ADDR] [--threads N] [--cache N]
-//                 [--max-conns N] [--idle-timeout SECONDS]
-//                 [--adapt on|off] [--adapt-min-samples N]
-//                 [--adapt-max-samples N] [--adapt-rel-err X]
-//                 [--adapt-drift X] [--adapt-cusum X]
-//                 [--trace FILE]
+// Flags are declared once in the FlagTable below (which also generates
+// the usage text); most bind straight onto ServeConfig/AdaptConfig
+// fields, so defaults live in the config structs, not here.
 //
 // Port 0 (the default) picks an ephemeral port; the bound port is
 // printed on startup.  The process serves until stdin reaches EOF
 // (Ctrl-D) so it composes with shells, tests and process supervisors;
 // shutdown drains in-flight requests gracefully.
 #include <cstdio>
-#include <string>
-
 #include <memory>
+#include <string>
 
 #include "fpm/adapt/engine.hpp"
 #include "fpm/fault/fault.hpp"
 #include "fpm/serve/server.hpp"
 #include "tool_args.hpp"
 
-namespace {
-
-constexpr const char* kUsage =
-    "usage: fpmpart_serve --models NAME=FILE [--models NAME=FILE ...]\n"
-    "                     [--port P] [--bind ADDR] [--threads N] [--cache N]\n"
-    "                     [--max-conns N] [--idle-timeout SECONDS]\n"
-    "                     [--adapt on|off] [--adapt-min-samples N]\n"
-    "                     [--adapt-max-samples N] [--adapt-rel-err X]\n"
-    "                     [--adapt-drift X] [--adapt-cusum X]\n"
-    "                     [--trace FILE]\n";
-
-} // namespace
-
 int main(int argc, char** argv) {
     using namespace fpm;
     try {
         std::vector<std::string> model_specs;
-        long long threads = 4;
-        long long cache_capacity = 1024;
         bool adapt_enabled = false;
         adapt::AdaptConfig adapt_config;
         serve::ServeConfig config;
-        try {
-            const fpmtool::ArgParser args(
-                argc, argv,
-                {"--port", "--bind", "--threads", "--cache", "--max-conns",
-                 "--idle-timeout", "--adapt", "--adapt-min-samples",
-                 "--adapt-max-samples", "--adapt-rel-err", "--adapt-drift",
-                 "--adapt-cusum", "--trace"},
-                {"--models"});
-            model_specs = args.values("--models");
-            fpmtool::init_tracing(args);
-            const long long port = args.int_value("--port", 0);
-            FPM_CHECK(port >= 0 && port <= 65535, "--port out of range");
-            config.port = static_cast<std::uint16_t>(port);
-            config.bind_address = args.value("--bind", "127.0.0.1");
-            threads = args.int_value("--threads", 4);
-            cache_capacity = args.int_value("--cache", 1024);
-            const long long max_conns = args.int_value(
-                "--max-conns", static_cast<long long>(config.max_connections));
-            FPM_CHECK(max_conns >= 1, "--max-conns must be positive");
-            config.max_connections = static_cast<std::size_t>(max_conns);
-            config.idle_timeout =
-                args.double_value("--idle-timeout", config.idle_timeout);
-            FPM_CHECK(threads >= 1, "--threads must be positive");
-            FPM_CHECK(cache_capacity >= 1, "--cache must be positive");
-            const std::string adapt = args.value("--adapt", "off");
-            FPM_CHECK(adapt == "on" || adapt == "off",
-                      "--adapt expects on|off, got '" + adapt + "'");
-            adapt_enabled = adapt == "on";
-            adapt_config.min_samples = static_cast<std::uint64_t>(
-                args.int_value("--adapt-min-samples",
-                               static_cast<long long>(
-                                   adapt_config.min_samples)));
-            adapt_config.max_samples = static_cast<std::uint64_t>(
-                args.int_value("--adapt-max-samples",
-                               static_cast<long long>(
-                                   adapt_config.max_samples)));
-            adapt_config.target_relative_error = args.double_value(
-                "--adapt-rel-err", adapt_config.target_relative_error);
-            adapt_config.drift_threshold =
-                args.double_value("--adapt-drift",
-                                  adapt_config.drift_threshold);
-            adapt_config.cusum_limit =
-                args.double_value("--adapt-cusum", adapt_config.cusum_limit);
-            // AdaptEngine revalidates; this just fails before binding.
-            FPM_CHECK(adapt_config.min_samples >= 1,
-                      "--adapt-min-samples must be positive");
-            FPM_CHECK(adapt_config.max_samples >= adapt_config.min_samples,
-                      "--adapt-max-samples must be >= --adapt-min-samples");
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+        serve::RequestEngine::Options engine_options;
+
+        fpmtool::FlagTable flags("fpmpart_serve");
+        flags.bind_list("--models", "NAME=FILE", &model_specs).require()
+            .bind("--port", "P", &config.port, 0, 65535)
+            .bind("--bind", "ADDR", &config.bind_address)
+            .bind("--reactors", "N", &config.num_reactors, 1, 1024)
+            .bind("--threads", "N", &engine_options.workers, 1, 4096)
+            .bind("--cache", "N", &engine_options.cache_capacity, 1)
+            .bind("--cache-shards", "N", &engine_options.cache_shards, 1, 4096)
+            .bind("--max-conns", "N", &config.max_connections, 1)
+            .bind("--idle-timeout", "SECONDS", &config.idle_timeout, 0.0)
+            .bind("--adapt", "on|off", &adapt_enabled)
+            .bind("--adapt-min-samples", "N", &adapt_config.min_samples, 1)
+            .bind("--adapt-max-samples", "N", &adapt_config.max_samples, 1)
+            .bind("--adapt-rel-err", "X",
+                  &adapt_config.target_relative_error, 0.0)
+            .bind("--adapt-drift", "X", &adapt_config.drift_threshold, 0.0)
+            .bind("--adapt-cusum", "X", &adapt_config.cusum_limit, 0.0)
+            .trace();
+        if (!flags.parse(argc, argv)) {
             return 2;
         }
-        if (model_specs.empty()) {
-            std::fprintf(stderr, "%s", kUsage);
+        // AdaptEngine revalidates; this just fails before binding.
+        if (adapt_config.max_samples < adapt_config.min_samples) {
+            std::fprintf(stderr,
+                         "error: --adapt-max-samples must be >= "
+                         "--adapt-min-samples\n%s",
+                         flags.usage().c_str());
             return 2;
         }
 
@@ -130,7 +85,7 @@ int main(int argc, char** argv) {
             const auto eq = spec.find('=');
             if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
                 std::fprintf(stderr, "--models expects NAME=FILE, got '%s'\n%s",
-                             spec.c_str(), kUsage);
+                             spec.c_str(), flags.usage().c_str());
                 return 2;
             }
             const auto set =
@@ -153,10 +108,6 @@ int main(int argc, char** argv) {
                         armed);
         }
 
-        serve::RequestEngine::Options engine_options;
-        engine_options.workers = static_cast<unsigned>(threads);
-        engine_options.cache_capacity =
-            static_cast<std::size_t>(cache_capacity);
         serve::RequestEngine engine(registry, engine_options);
 
         std::unique_ptr<adapt::AdaptEngine> adapter;
@@ -176,11 +127,13 @@ int main(int argc, char** argv) {
 
         serve::SocketServer server(engine, config);
         server.start();
-        std::printf("fpmpart_serve listening on %s:%u (%lld worker(s), "
-                    "cache %lld, max %zu conn(s), idle timeout %.3gs); "
-                    "Ctrl-D to stop\n",
-                    config.bind_address.c_str(), server.port(), threads,
-                    cache_capacity, config.max_connections,
+        std::printf("fpmpart_serve listening on %s:%u (%zu reactor(s), "
+                    "%u worker(s), cache %zu in %zu shard(s), max %zu "
+                    "conn(s), idle timeout %.3gs); Ctrl-D to stop\n",
+                    config.bind_address.c_str(), server.port(),
+                    server.num_reactors(), engine_options.workers,
+                    engine_options.cache_capacity,
+                    engine.stats().cache_shards, config.max_connections,
                     config.idle_timeout);
         std::fflush(stdout);
 
@@ -189,24 +142,26 @@ int main(int argc, char** argv) {
         }
         server.stop();
 
-        const auto stats = engine.stats();
+        // The shutdown dump reads the same typed ServerStats surface a
+        // remote client gets from ServeClient::stats().
+        const auto stats = serve::ServerStats::from_fields(
+            serve::make_stats_reply(engine.stats(), registry.size()).stats);
         std::printf("served %zu connection(s), %llu request(s) "
                     "(%llu computed, %llu coalesced, %llu cache hit(s))\n",
                     server.connections_accepted(),
                     static_cast<unsigned long long>(stats.requests),
                     static_cast<unsigned long long>(stats.computed),
                     static_cast<unsigned long long>(stats.coalesced),
-                    static_cast<unsigned long long>(stats.cache.hits));
+                    static_cast<unsigned long long>(stats.hits));
         if (adapter) {
-            const auto adapt_stats = adapter->stats();
             std::printf("adaptation: %llu sample(s), %llu reliable "
                         "window(s), %llu republish(es), model version %llu\n",
-                        static_cast<unsigned long long>(adapt_stats.samples),
-                        static_cast<unsigned long long>(adapt_stats.reliable),
+                        static_cast<unsigned long long>(stats.adapt_samples),
+                        static_cast<unsigned long long>(stats.adapt_reliable),
                         static_cast<unsigned long long>(
-                            adapt_stats.republished),
+                            stats.adapt_republished),
                         static_cast<unsigned long long>(
-                            adapt_stats.model_version));
+                            stats.adapt_model_version));
         }
         return 0;
     } catch (const std::exception& e) {
