@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Crash-recovery job for the durable model store: configures (once) and
+# builds the ASan+UBSan tree, then runs every test labelled `store` —
+# the WAL framing, torn-tail/corrupt-snapshot recovery, write-ahead
+# veto, fork()+SIGKILL crash and store-fault chaos suites — under the
+# sanitizers.  This is the exact command documented in
+# docs/operations.md; keep the two in sync.
+#
+# Usage: ci/crash_recovery.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build-asan}"
+jobs="${FPMPART_BUILD_JOBS:-2}"
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFPMPART_SANITIZE=address,undefined
+fi
+
+cmake --build "$build" -j "$jobs"
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$build" -L store --output-on-failure -j 1

@@ -11,6 +11,13 @@
 /// requests see only the new version.  The `adapt.publish` fault point
 /// fires before the registry swap, so an injected failure leaves the
 /// previous version fully intact.
+///
+/// Durability rides on the registry's put observer: when a
+/// fpm::store::ModelStore is attached, ModelRegistry::put write-ahead
+/// logs the candidate before committing, so publish() is also the WAL
+/// commit point of the adaptation loop — a store append failure
+/// (store.append/store.fsync faults, full disk) vetoes the publish and
+/// the previous version keeps serving.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,7 @@
 #include "fpm/core/model_io.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -9,6 +10,8 @@
 namespace fpm::core {
 
 namespace {
+
+constexpr const char* kColumnHeader = "name,max_problem,x,speed";
 
 std::vector<std::string> split_csv_line(const std::string& line) {
     std::vector<std::string> cells;
@@ -20,17 +23,76 @@ std::vector<std::string> split_csv_line(const std::string& line) {
     return cells;
 }
 
+/// Strict double parse for one CSV cell; throws ParseError pinpointing
+/// `column` (1-based cell index) on failure.
+double parse_cell(const std::string& text, const std::string& origin,
+                  std::size_t line, std::size_t column) {
+    const char* begin = text.c_str();
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin || *end != '\0') {
+        throw ParseError(origin, line, column,
+                         "non-numeric value '" + text + "'");
+    }
+    return value;
+}
+
+/// Parses the `fpmmodel v<N>` magic line; returns 0 when `line` is not a
+/// header at all (a v1 file), throws for a recognisable header carrying
+/// an unusable version.
+int parse_magic(const std::string& line, const std::string& origin) {
+    std::istringstream stream(line);
+    std::string magic;
+    std::string version;
+    stream >> magic;
+    if (magic != kModelFileMagic) {
+        return 0;
+    }
+    stream >> version;
+    if (version.size() < 2 || version[0] != 'v') {
+        throw ParseError(origin, 1, 0,
+                         "malformed format version '" + version + "'");
+    }
+    const char* begin = version.c_str() + 1;
+    char* end = nullptr;
+    const long parsed = std::strtol(begin, &end, 10);
+    if (end == begin || *end != '\0' || parsed <= 0) {
+        throw ParseError(origin, 1, 0,
+                         "malformed format version '" + version + "'");
+    }
+    if (parsed > kModelFormatVersion) {
+        throw ParseError(origin, 1, 0,
+                         "unsupported format version v" +
+                             std::to_string(parsed) + " (this build reads up "
+                             "to v" + std::to_string(kModelFormatVersion) +
+                             ")");
+    }
+    std::string trailing;
+    if (stream >> trailing) {
+        throw ParseError(origin, 1, 0,
+                         "trailing tokens after the format header");
+    }
+    return static_cast<int>(parsed);
+}
+
 } // namespace
 
-void save_speed_functions_csv(const std::string& path,
-                              const std::vector<SpeedFunction>& models) {
+ParseError::ParseError(std::string origin, std::size_t line,
+                       std::size_t column, std::string reason)
+    : Error(origin + ":" + std::to_string(line) +
+            (column > 0 ? ":" + std::to_string(column) : std::string{}) +
+            ": " + reason),
+      origin_(std::move(origin)), line_(line), column_(column),
+      reason_(std::move(reason)) {}
+
+void write_speed_functions(std::ostream& out,
+                           const std::vector<SpeedFunction>& models) {
     FPM_CHECK(!models.empty(), "nothing to save");
-    std::ofstream out(path);
-    FPM_CHECK(out.good(), "cannot open model file for writing: " + path);
     // Full precision so a load() reproduces every double bit-for-bit.
     out << std::setprecision(std::numeric_limits<double>::max_digits10);
 
-    out << "name,max_problem,x,speed\n";
+    out << kModelFileMagic << " v" << kModelFormatVersion << '\n';
+    out << kColumnHeader << '\n';
     for (const auto& model : models) {
         FPM_CHECK(model.name().find(',') == std::string::npos,
                   "model names must not contain commas");
@@ -44,41 +106,62 @@ void save_speed_functions_csv(const std::string& path,
             out << ',' << point.x << ',' << point.speed << '\n';
         }
     }
-    FPM_CHECK(out.good(), "write failed: " + path);
+    FPM_CHECK(out.good(), "model write failed");
 }
 
-std::vector<SpeedFunction> load_speed_functions_csv(const std::string& path) {
-    std::ifstream in(path);
-    FPM_CHECK(in.good(), "cannot open model file: " + path);
-
+std::vector<SpeedFunction> read_speed_functions(std::istream& in,
+                                                const std::string& origin) {
     std::string line;
-    FPM_CHECK(static_cast<bool>(std::getline(in, line)),
-              "model file is empty: " + path);
-    FPM_CHECK(line == "name,max_problem,x,speed",
-              "unexpected model file header: " + line);
+    if (!std::getline(in, line)) {
+        throw ParseError(origin, 1, 0, "model input is empty");
+    }
+    std::size_t line_number = 1;
+    const int version = parse_magic(line, origin);
+    if (version > 0) {
+        // v2+: the magic line is followed by the column header.
+        if (!std::getline(in, line)) {
+            throw ParseError(origin, 2, 0,
+                             "missing column header after the format header");
+        }
+        ++line_number;
+    }
+    if (line != kColumnHeader) {
+        throw ParseError(origin, line_number, 0,
+                         "unexpected column header '" + line + "' (want '" +
+                             kColumnHeader + "')");
+    }
 
     std::vector<SpeedFunction> models;
     std::string current_name;
     double current_max = std::numeric_limits<double>::infinity();
     std::vector<SpeedPoint> current_points;
+    std::size_t model_first_line = 0;
 
     auto flush = [&]() {
         if (!current_points.empty()) {
-            models.emplace_back(std::move(current_points), current_name,
-                                current_max);
+            try {
+                models.emplace_back(std::move(current_points), current_name,
+                                    current_max);
+            } catch (const Error& e) {
+                throw ParseError(origin, model_first_line, 0,
+                                 "invalid model '" + current_name +
+                                     "': " + e.what());
+            }
             current_points = {};
         }
     };
 
-    std::size_t line_number = 1;
     while (std::getline(in, line)) {
         ++line_number;
         if (line.empty()) {
             continue;
         }
         const auto cells = split_csv_line(line);
-        FPM_CHECK(cells.size() == 4,
-                  "malformed model row at line " + std::to_string(line_number));
+        if (cells.size() != 4) {
+            throw ParseError(origin, line_number, 0,
+                             "expected 4 CSV cells, got " +
+                                 std::to_string(cells.size()));
+        }
 
         const std::string& name = cells[0];
         if (name != current_name || current_points.empty()) {
@@ -86,21 +169,35 @@ std::vector<SpeedFunction> load_speed_functions_csv(const std::string& path) {
                 flush();
             }
             current_name = name;
-            current_max = (cells[1] == "inf")
-                              ? std::numeric_limits<double>::infinity()
-                              : std::stod(cells[1]);
+            model_first_line = line_number;
+            current_max =
+                (cells[1] == "inf")
+                    ? std::numeric_limits<double>::infinity()
+                    : parse_cell(cells[1], origin, line_number, 2);
         }
-        try {
-            current_points.push_back(
-                SpeedPoint{std::stod(cells[2]), std::stod(cells[3])});
-        } catch (const std::exception&) {
-            throw Error("non-numeric model row at line " +
-                        std::to_string(line_number));
-        }
+        current_points.push_back(
+            SpeedPoint{parse_cell(cells[2], origin, line_number, 3),
+                       parse_cell(cells[3], origin, line_number, 4)});
     }
     flush();
-    FPM_CHECK(!models.empty(), "model file holds no points: " + path);
+    if (models.empty()) {
+        throw ParseError(origin, line_number, 0, "model input holds no points");
+    }
     return models;
+}
+
+void save_speed_functions_csv(const std::string& path,
+                              const std::vector<SpeedFunction>& models) {
+    std::ofstream out(path);
+    FPM_CHECK(out.good(), "cannot open model file for writing: " + path);
+    write_speed_functions(out, models);
+    FPM_CHECK(out.good(), "write failed: " + path);
+}
+
+std::vector<SpeedFunction> load_speed_functions_csv(const std::string& path) {
+    std::ifstream in(path);
+    FPM_CHECK(in.good(), "cannot open model file: " + path);
+    return read_speed_functions(in, path);
 }
 
 } // namespace fpm::core

@@ -31,7 +31,8 @@
 /// The well-known points wired into this repo (see docs/operations.md):
 /// serve.accept, serve.recv, serve.send, serve.cache, serve.compute,
 /// serve.reload, rt.dispatch, adapt.ingest, adapt.refine,
-/// adapt.publish.  Points are created on demand, so a plan
+/// adapt.publish, store.append, store.fsync, store.snapshot.  Points
+/// are created on demand, so a plan
 /// may also name points that are never reached (they simply stay idle).
 /// Every injection increments `fault.injected` and
 /// `fault.injected.<point>` in the process-global obs MetricsRegistry.

@@ -288,7 +288,8 @@ Response ServeClient::call(const Request& req) {
             }
             const Response response = Response::decode(request(line));
             if (response.kind == Response::Kind::kError &&
-                response.error == "busy" && attempt < config_.max_retries) {
+                response.error_code == ErrorCode::kBusy &&
+                attempt < config_.max_retries) {
                 // Admission rejection: the server also closed the
                 // connection, so start fresh after the backoff.
                 close_fd();
@@ -318,7 +319,8 @@ PartitionReply ServeClient::partition(const PartitionRequest& req) {
     wire.partition = req;
     const Response response = call(wire);
     if (response.kind == Response::Kind::kError) {
-        throw Error("server error: " + response.error);
+        throw ServiceError(response.error_code,
+                           "server error: " + response.error);
     }
     FPM_CHECK(response.kind == Response::Kind::kPartition,
               "malformed partition reply");
@@ -331,17 +333,20 @@ FeedbackReply ServeClient::report_feedback(const FeedbackSample& sample) {
     wire.feedback = sample;
     const Response response = call(wire);
     if (response.kind == Response::Kind::kError) {
-        // A pre-v4 server does not know the verb and answers the
-        // generic parse error; translate it into a typed unsupported-verb
-        // failure so callers can tell "talk to a newer server" apart
-        // from "the sample was rejected".
-        if (response.error.rfind("unknown command", 0) == 0) {
-            throw Error(
+        // A pre-v4 server does not know the verb; decode() classified
+        // its free-text `ERR unknown command: ...` as kUnsupportedVerb,
+        // so one typed check covers old and new servers alike and
+        // callers can tell "talk to a newer server" apart from "the
+        // sample was rejected".
+        if (response.error_code == ErrorCode::kUnsupportedVerb) {
+            throw ServiceError(
+                ErrorCode::kUnsupportedVerb,
                 "unsupported verb: FEEDBACK requires protocol v" +
-                std::to_string(kProtocolVersion) +
-                " (server answered \"ERR " + response.error + "\")");
+                    std::to_string(kProtocolVersion) +
+                    " (server answered \"ERR " + response.error + "\")");
         }
-        throw Error("server error: " + response.error);
+        throw ServiceError(response.error_code,
+                           "server error: " + response.error);
     }
     FPM_CHECK(response.kind == Response::Kind::kFeedback,
               "malformed FEEDBACK reply");
@@ -362,12 +367,13 @@ void ServeClient::ping() {
     throw Error("unexpected PING reply: " + raw);
 }
 
-HealthReply ServeClient::health() {
+ServerHealth ServeClient::health() {
     Request wire;
     wire.kind = Request::Kind::kHealth;
     const Response response = call(wire);
     if (response.kind == Response::Kind::kError) {
-        throw Error("server error: " + response.error);
+        throw ServiceError(response.error_code,
+                           "server error: " + response.error);
     }
     FPM_CHECK(response.kind == Response::Kind::kHealth,
               "malformed HEALTH reply");
@@ -379,7 +385,8 @@ ServerStats ServeClient::stats() {
     wire.kind = Request::Kind::kStats;
     const Response response = call(wire);
     if (response.kind == Response::Kind::kError) {
-        throw Error("server error: " + response.error);
+        throw ServiceError(response.error_code,
+                           "server error: " + response.error);
     }
     FPM_CHECK(response.kind == Response::Kind::kStats,
               "malformed STATS reply");

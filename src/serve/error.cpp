@@ -1,0 +1,44 @@
+#include "fpm/serve/error.hpp"
+
+#include <array>
+
+namespace fpm::serve {
+
+namespace {
+
+/// Indexed by static_cast<std::size_t>(ErrorCode).
+constexpr std::array<std::string_view, 6> kTokens = {
+    "internal",         "busy",        "unsupported_verb",
+    "feedback_disabled", "bad_request", "store_unavailable",
+};
+
+} // namespace
+
+std::string_view error_token(ErrorCode code) noexcept {
+    const auto index = static_cast<std::size_t>(code);
+    return index < kTokens.size() ? kTokens[index] : kTokens[0];
+}
+
+std::optional<ErrorCode> parse_error_token(std::string_view token) noexcept {
+    for (std::size_t i = 0; i < kTokens.size(); ++i) {
+        if (token == kTokens[i]) {
+            return static_cast<ErrorCode>(i);
+        }
+    }
+    return std::nullopt;
+}
+
+ErrorCode classify_legacy_error(std::string_view message) noexcept {
+    if (message == "busy") {
+        return ErrorCode::kBusy;
+    }
+    if (message.rfind("unknown command", 0) == 0) {
+        return ErrorCode::kUnsupportedVerb;
+    }
+    if (message.rfind("feedback not enabled", 0) == 0) {
+        return ErrorCode::kFeedbackDisabled;
+    }
+    return ErrorCode::kInternal;
+}
+
+} // namespace fpm::serve

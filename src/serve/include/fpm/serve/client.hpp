@@ -94,16 +94,16 @@ public:
     /// (see file comment); QUIT is never retried.
     Response call(const Request& request);
 
-    /// PARTITION round trip with a decoded reply; throws fpm::Error when
-    /// the server answers ERR.
+    /// PARTITION round trip with a decoded reply; throws ServiceError
+    /// (carrying the server's ErrorCode) when the server answers ERR.
     PartitionReply partition(const PartitionRequest& req);
 
     /// FEEDBACK round trip: reports one served-execution measurement and
     /// returns what the server's adaptation layer did with it.  Throws
-    /// fpm::Error when the server answers ERR; a pre-v4 server (which
-    /// does not know the verb and answers `ERR unknown command`) is
-    /// surfaced as a clean typed unsupported-verb error, never as a
-    /// transport/truncation failure.
+    /// ServiceError when the server answers ERR; a pre-v5 server that
+    /// does not know the verb (free-text `ERR unknown command`) is
+    /// classified and surfaced as ErrorCode::kUnsupportedVerb, never as
+    /// a transport/truncation failure.
     FeedbackReply report_feedback(const FeedbackSample& sample);
 
     /// PING round trip; throws fpm::Error unless the server answers a
@@ -111,9 +111,13 @@ public:
     /// reported as a protocol version error, not silently tolerated.
     void ping();
 
-    /// HEALTH round trip with a decoded reply; throws fpm::Error when
-    /// the server answers ERR.
-    HealthReply health();
+    /// HEALTH round trip, fully typed: every known field parsed into
+    /// ServerHealth (liveness, readiness, degradation counters, the
+    /// store's recovered generation), unknown `key=value` pairs
+    /// preserved in ServerHealth::extras.  Throws ServiceError when the
+    /// server answers ERR.  Probes use this instead of grepping the raw
+    /// reply line.
+    ServerHealth health();
 
     /// STATS round trip, fully typed: every known field parsed into
     /// ServerStats, unknown `key=value` pairs preserved in

@@ -1,0 +1,75 @@
+/// \file error.hpp
+/// \brief Typed error codes of the partition-service protocol.
+///
+/// Until v5 every failure travelled as free text (`ERR <message>`) and
+/// callers that needed to react to a *specific* failure — the client's
+/// retry loop matching "busy", report_feedback() sniffing "unknown
+/// command" — had to string-match.  v5 gives every error a stable
+/// machine-readable token that leads the ERR line:
+///
+///     ERR <token> [<message>]
+///
+/// The tokens are a closed, append-only set (`error_token()` /
+/// `parse_error_token()` below); the human-readable message after the
+/// token stays free-form and may change between releases.  Decoders keep
+/// accepting pre-v5 free-text ERR lines and map the well-known legacy
+/// texts onto the same codes, so a v5 client talking to an old server
+/// still gets typed errors (ErrorCode::kInternal when the text is
+/// unrecognised).
+///
+/// ServiceError is the exception that carries a code through the stack:
+/// the engine, the registry, the store and the protocol dispatcher all
+/// throw it where the failure class is known, and handle_request()
+/// preserves the code onto the wire.  Plain fpm::Error still works
+/// everywhere and is reported as kInternal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fpm/common/error.hpp"
+
+namespace fpm::serve {
+
+/// Stable failure classes of the wire protocol, in wire-token order.
+/// Append only — the tokens are a compatibility surface (documented in
+/// docs/protocol.md; the docs test enforces the table).
+enum class ErrorCode {
+    kInternal = 0,      ///< unclassified server-side failure
+    kBusy,              ///< admission control rejected the connection
+    kUnsupportedVerb,   ///< unknown request verb (e.g. v4 FEEDBACK at v3)
+    kFeedbackDisabled,  ///< FEEDBACK without an installed adapt handler
+    kBadRequest,        ///< malformed arguments or unknown model set
+    kStoreUnavailable,  ///< durable model store rejected the mutation
+};
+
+/// The wire token of `code` (never empty).
+[[nodiscard]] std::string_view error_token(ErrorCode code) noexcept;
+
+/// Maps a wire token back to its code; nullopt for unknown tokens (a
+/// newer server, or a pre-v5 free-text message).
+[[nodiscard]] std::optional<ErrorCode>
+parse_error_token(std::string_view token) noexcept;
+
+/// Classifies a pre-v5 free-text ERR message onto the code a v5 server
+/// would have used: "busy" -> kBusy, "unknown command..." ->
+/// kUnsupportedVerb, "feedback not enabled..." -> kFeedbackDisabled,
+/// anything else -> kInternal.
+[[nodiscard]] ErrorCode classify_legacy_error(std::string_view message) noexcept;
+
+/// An fpm::Error that knows its protocol error class.  Thrown by the
+/// serve/adapt/store layers where the class is known; handle_request()
+/// and ServeClient preserve the code across the wire.
+class ServiceError : public Error {
+public:
+    ServiceError(ErrorCode code, const std::string& message)
+        : Error(message), code_(code) {}
+
+    [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+} // namespace fpm::serve

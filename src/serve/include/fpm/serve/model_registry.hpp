@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,10 +46,39 @@ fingerprint_models(const std::vector<core::SpeedFunction>& models);
 /// See file comment.
 class ModelRegistry {
 public:
+    /// Durability hook: invoked for every put() with the fully-formed
+    /// candidate snapshot (name, models, fingerprint, generation)
+    /// *before* the registry commits it — write-ahead semantics.  A
+    /// throwing observer vetoes the put: the registry keeps its previous
+    /// content and generation counter, and the exception propagates to
+    /// the caller.  The durable model store (fpm::store) installs itself
+    /// here so no generation can be served that was not first logged.
+    using PutObserver = std::function<void(const ModelSet&)>;
+
+    /// Installs (or, with an empty function, removes) the put observer.
+    /// The observer runs under the registry mutex, so appends are
+    /// serialized in generation order; it must not call back into the
+    /// registry.
+    void set_put_observer(PutObserver observer);
+
     /// Installs (or replaces) the set under `name`; returns the new
-    /// snapshot.  Throws fpm::Error for an empty name or empty model list.
+    /// snapshot.  Throws fpm::Error for an empty name or empty model
+    /// list, and rethrows a veto from the put observer (registry
+    /// untouched).
     std::shared_ptr<const ModelSet> put(const std::string& name,
                                         std::vector<core::SpeedFunction> models);
+
+    /// Recovery entry point: installs the set under `name` with the
+    /// *explicit* generation it carried before the crash, advancing the
+    /// registry's generation counter past it.  Bypasses the put observer
+    /// (recovery must not re-log what it replays) and the serve.reload
+    /// fault point.  Throws fpm::Error on invalid input.
+    std::shared_ptr<const ModelSet>
+    restore(const std::string& name, std::vector<core::SpeedFunction> models,
+            std::uint64_t generation);
+
+    /// The generation the next put() will assign (1 on a fresh registry).
+    [[nodiscard]] std::uint64_t next_generation() const;
 
     /// Convenience: core::load_speed_functions_csv + put.
     std::shared_ptr<const ModelSet> load_csv(const std::string& name,
@@ -69,6 +99,7 @@ private:
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<const ModelSet>> sets_;
     std::uint64_t next_generation_ = 1;
+    PutObserver observer_;
 };
 
 } // namespace fpm::serve

@@ -16,11 +16,16 @@
 ///     HEALTH                                  -> OK HEALTH ...
 ///     QUIT                                    -> OK BYE
 ///
-/// Failures are `ERR <message>`.  Doubles travel as shortest-exact
-/// decimal (%.17g), so a partition reply decoded by the client compares
-/// bit-for-bit with the direct library call.  kProtocolVersion is the
-/// single revision constant: PING carries it, ServeClient::ping()
-/// enforces it, and nothing else restates it.
+/// Failures are `ERR <code> [<message>]` since v5: the first token is a
+/// stable machine-readable ErrorCode token (see error.hpp) and the rest
+/// is the human diagnosis.  Pre-v5 servers sent free-text `ERR
+/// <message>`; decode() recognises both, classifying legacy text onto
+/// the nearest code, so a v5 client still types errors from an old
+/// server.  Doubles travel as shortest-exact decimal (%.17g), so a
+/// partition reply decoded by the client compares bit-for-bit with the
+/// direct library call.  kProtocolVersion is the single revision
+/// constant: PING carries it, ServeClient::ping() enforces it, and
+/// nothing else restates it.
 ///
 /// The normative wire-format specification (framing, field grammars,
 /// the ERR taxonomy, degraded-reply semantics) lives in
@@ -33,20 +38,25 @@
 #include <string>
 #include <vector>
 
+#include "fpm/serve/error.hpp"
 #include "fpm/serve/request_engine.hpp"
 
 namespace fpm::serve {
 
-/// Wire protocol revision.  v4 adds the FEEDBACK verb (online model
-/// refinement) and the adapt_* STATS fields; v3 introduced typed
-/// messages, the reactor's STATS fields (connection gauges,
-/// queue-to-reply quantiles), the HEALTH request and the PARTITION
-/// `degraded=` flag.  Clients must refuse to talk to a server announcing
-/// a different revision (ServeClient::ping enforces this); a v4 client
-/// sending FEEDBACK to a v3 server receives the v3 `ERR unknown
-/// command` reply, which ServeClient::report_feedback surfaces as a
-/// typed unsupported-verb error.
-inline constexpr int kProtocolVersion = 4;
+/// Wire protocol revision.  v5 types failures (`ERR <code> [<message>]`
+/// with the stable ErrorCode tokens), extends HEALTH to the
+/// extensible key=value ServerHealth reply (recovered_generation), and
+/// adds the durable-store STATS fields (store_*, recovered_generation).
+/// v4 added the FEEDBACK verb (online model refinement) and the adapt_*
+/// STATS fields; v3 introduced typed messages, the reactor's STATS
+/// fields (connection gauges, queue-to-reply quantiles), the HEALTH
+/// request and the PARTITION `degraded=` flag.  Clients must refuse to
+/// talk to a server announcing a different revision
+/// (ServeClient::ping enforces this); a v5 client sending FEEDBACK to a
+/// v3 server receives the v3 `ERR unknown command` reply, which
+/// ServeClient::report_feedback surfaces as a typed unsupported-verb
+/// ServiceError.
+inline constexpr int kProtocolVersion = 5;
 
 /// A request message.  decode() parses a wire line (throws fpm::Error
 /// with a client-safe message on unknown verbs, arity errors or
@@ -91,30 +101,50 @@ struct LoadedReply {
     std::uint64_t fingerprint = 0;
 };
 
+/// One `key=value` field of an `OK STATS`/`OK HEALTH` response, in wire
+/// order.  The value is pre-rendered (integers, or %.17g doubles) so the
+/// field list is closed under encode()/decode() round trips.
+struct StatField {
+    std::string name;
+    std::string value;
+};
+
 /// Payload of an `OK HEALTH` response: liveness (the process answered),
-/// readiness (at least one model set is loaded), and the degradation
-/// counters an operator watches during fault drills.
-struct HealthReply {
+/// readiness (at least one model set is loaded), the degradation
+/// counters an operator watches during fault drills, and — when a
+/// durable store is configured — the generation recovered at startup.
+/// Since v5 the reply is an open key=value list like STATS: unknown
+/// fields land in `extras`, so probes keep working against newer
+/// servers.  Use from_fields() (or ServeClient::health()) instead of
+/// grepping the reply text.
+struct ServerHealth {
     bool live = true;
     bool ready = false;
     std::uint64_t models = 0;           ///< registry size
     std::uint64_t faults_injected = 0;  ///< fault::injected_total()
     std::uint64_t degraded = 0;         ///< degraded partitions served
+    /// Highest registry generation restored from the durable store at
+    /// startup; 0 when no store is configured (or it was empty).
+    std::uint64_t recovered_generation = 0;
+
+    /// Unknown `key=value` pairs, verbatim (forward compat).
+    std::map<std::string, std::string> extras;
+
+    /// Parses a decoded HEALTH field vector.  Throws fpm::Error when a
+    /// *known* field carries a malformed value; unknown names land in
+    /// `extras` untouched.
+    [[nodiscard]] static ServerHealth
+    from_fields(const std::vector<StatField>& fields);
 };
+
+/// Pre-v5 name of ServerHealth, kept for source compatibility.
+using HealthReply = ServerHealth;
 
 /// One registry entry in an `OK MODELS` response.
 struct ModelSetInfo {
     std::string name;
     std::uint64_t generation = 0;
     std::uint64_t models = 0;
-};
-
-/// One `key=value` field of an `OK STATS` response, in wire order.  The
-/// value is pre-rendered (integers, or %.17g doubles) so the field list
-/// is closed under encode()/decode() round trips.
-struct StatField {
-    std::string name;
-    std::string value;
 };
 
 /// Per-algorithm request-latency quartet of an `OK STATS` reply
@@ -177,6 +207,15 @@ struct ServerStats {
     std::uint64_t adapt_republished = 0;
     std::uint64_t adapt_model_version = 0;
 
+    // -- durable model store ------------------------------------------
+    std::uint64_t store_appended = 0;   ///< WAL records written
+    std::uint64_t store_bytes = 0;      ///< WAL bytes written
+    std::uint64_t store_snapshots = 0;  ///< compacted snapshots taken
+    double store_fsync_p50_us = 0.0;
+    double store_fsync_p95_us = 0.0;
+    double store_fsync_p99_us = 0.0;
+    std::uint64_t recovered_generation = 0;  ///< restored at startup
+
     /// Unknown `key=value` pairs, verbatim (e.g. fields added by a newer
     /// server).  Known fields never appear here.
     std::map<std::string, std::string> extras;
@@ -196,18 +235,29 @@ struct Response {
                       kHealth, kPartition, kFeedback };
 
     Kind kind = Kind::kError;
-    std::string error;                 ///< kError
+    std::string error;                 ///< kError: human-readable message
+    /// kError: the stable machine-readable classification.  Set by both
+    /// make_error overloads and by decode() (which classifies pre-v5
+    /// free-text errors via classify_legacy_error).
+    ErrorCode error_code = ErrorCode::kInternal;
     int version = kProtocolVersion;    ///< kPong
     LoadedReply loaded;                ///< kLoaded
     std::vector<ModelSetInfo> sets;    ///< kModels
     std::vector<StatField> stats;      ///< kStats
-    HealthReply health;                ///< kHealth
+    ServerHealth health;               ///< kHealth
     PartitionReply partition;          ///< kPartition
     FeedbackReply feedback;            ///< kFeedback
 
     [[nodiscard]] std::string encode() const;
     [[nodiscard]] static Response decode(const std::string& line);
 
+    /// Typed error; an empty `message` means the reply carries the code
+    /// token alone (`ERR busy`), which is also how it decodes.
+    [[nodiscard]] static Response make_error(ErrorCode code,
+                                             const std::string& message = {});
+
+    /// Legacy entry point: classifies the free-text message onto the
+    /// nearest ErrorCode (classify_legacy_error) and keeps the text.
     [[nodiscard]] static Response make_error(const std::string& message);
 };
 
@@ -218,9 +268,10 @@ make_partition_reply(const PartitionRequest& request,
 
 /// Builds the STATS response: engine counters, cache, per-algorithm
 /// latency quantiles, plus the reactor's gauges/counters, the
-/// queue-to-reply quantiles and the adaptation counters (adapt_*), all
-/// read from the process-global obs::MetricsRegistry (zero when no
-/// server/adapter ran yet).
+/// queue-to-reply quantiles, the adaptation counters (adapt_*) and the
+/// durable-store instruments (store_*, recovered_generation), all read
+/// from the process-global obs::MetricsRegistry (zero when no
+/// server/adapter/store ran yet).
 [[nodiscard]] Response make_stats_reply(const EngineStats& stats,
                                         std::size_t model_count);
 

@@ -41,6 +41,7 @@
 #include "fpm/obs/metrics.hpp"
 #include "fpm/part/fpm_partitioner.hpp"
 #include "fpm/rt/thread_pool.hpp"
+#include "fpm/serve/error.hpp"
 #include "fpm/serve/model_registry.hpp"
 #include "fpm/serve/partition_cache.hpp"
 
@@ -140,11 +141,12 @@ public:
     std::future<PartitionResponse> submit(const PartitionRequest& request);
 
     /// Outcome of an asynchronous execution: exactly one of response
-    /// (when `error` is empty) or `error` (a client-safe message) is
-    /// meaningful.
+    /// (when `error` is empty) or `error` (a client-safe message, with
+    /// `code` its wire classification) is meaningful.
     struct AsyncResult {
         PartitionResponse response;
         std::string error;
+        ErrorCode code = ErrorCode::kInternal;  ///< meaningful iff !ok()
         [[nodiscard]] bool ok() const noexcept { return error.empty(); }
     };
 
@@ -192,6 +194,7 @@ public:
     struct FeedbackAsyncResult {
         FeedbackReply reply;
         std::string error;
+        ErrorCode code = ErrorCode::kInternal;  ///< meaningful iff !ok()
         [[nodiscard]] bool ok() const noexcept { return error.empty(); }
     };
 

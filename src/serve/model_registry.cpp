@@ -1,11 +1,13 @@
 #include "fpm/serve/model_registry.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include "fpm/common/error.hpp"
 #include "fpm/core/model_io.hpp"
 #include "fpm/fault/fault.hpp"
+#include "fpm/serve/error.hpp"
 
 namespace fpm::serve {
 
@@ -73,10 +75,49 @@ ModelRegistry::put(const std::string& name,
     set->models = std::move(models);
 
     std::lock_guard lock(mutex_);
-    set->generation = next_generation_++;
+    set->generation = next_generation_;
+    if (observer_) {
+        // Write-ahead: the durable store logs the candidate before the
+        // registry commits.  A throw here vetoes the put — generation
+        // counter and map are untouched, so registry and log can never
+        // disagree about what was published.
+        observer_(*set);
+    }
+    ++next_generation_;
     std::shared_ptr<const ModelSet> installed = std::move(set);
     sets_[name] = installed;
     return installed;
+}
+
+void ModelRegistry::set_put_observer(PutObserver observer) {
+    std::lock_guard lock(mutex_);
+    observer_ = std::move(observer);
+}
+
+std::shared_ptr<const ModelSet>
+ModelRegistry::restore(const std::string& name,
+                       std::vector<core::SpeedFunction> models,
+                       std::uint64_t generation) {
+    FPM_CHECK(!name.empty(), "model set name must not be empty");
+    FPM_CHECK(!models.empty(), "model set must hold at least one model");
+    FPM_CHECK(generation > 0, "restored generation must be positive");
+
+    auto set = std::make_shared<ModelSet>();
+    set->name = name;
+    set->fingerprint = fingerprint_models(models);
+    set->models = std::move(models);
+    set->generation = generation;
+
+    std::lock_guard lock(mutex_);
+    next_generation_ = std::max(next_generation_, generation + 1);
+    std::shared_ptr<const ModelSet> installed = std::move(set);
+    sets_[name] = installed;
+    return installed;
+}
+
+std::uint64_t ModelRegistry::next_generation() const {
+    std::lock_guard lock(mutex_);
+    return next_generation_;
 }
 
 std::shared_ptr<const ModelSet> ModelRegistry::load_csv(const std::string& name,
@@ -87,7 +128,13 @@ std::shared_ptr<const ModelSet> ModelRegistry::load_csv(const std::string& name,
 std::shared_ptr<const ModelSet>
 ModelRegistry::get(const std::string& name) const {
     auto set = find(name);
-    FPM_CHECK(set != nullptr, "unknown model set: " + name);
+    if (set == nullptr) {
+        // A client asking for a set that is not loaded is a caller
+        // mistake, not a server fault — type it so the wire carries
+        // `ERR bad_request ...` instead of `ERR internal ...`.
+        throw ServiceError(ErrorCode::kBadRequest,
+                           "unknown model set: " + name);
+    }
     return set;
 }
 

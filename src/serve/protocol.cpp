@@ -198,7 +198,10 @@ Request Request::decode(const std::string& line) {
         FPM_CHECK(request.feedback.seconds > 0.0,
                   "measured time must be positive");
     } else {
-        throw Error("unknown command: " + verb);
+        // Typed so the wire answer is `ERR unsupported_verb ...` — the
+        // code a newer client probes for when feature-detecting verbs.
+        throw ServiceError(ErrorCode::kUnsupportedVerb,
+                           "unknown command: " + verb);
     }
     return request;
 }
@@ -207,17 +210,34 @@ Request Request::decode(const std::string& line) {
 // Response
 // ---------------------------------------------------------------------------
 
-Response Response::make_error(const std::string& message) {
+Response Response::make_error(ErrorCode code, const std::string& message) {
     Response response;
     response.kind = Kind::kError;
-    response.error = sanitize(message);
+    response.error_code = code;
+    // `error` is never empty: a message-less typed error carries the
+    // token text itself, so callers testing `!error.empty()` keep
+    // detecting failure.
+    response.error =
+        message.empty() ? std::string(error_token(code)) : sanitize(message);
     return response;
+}
+
+Response Response::make_error(const std::string& message) {
+    return make_error(classify_legacy_error(message), message);
 }
 
 std::string Response::encode() const {
     switch (kind) {
-    case Kind::kError:
-        return "ERR " + sanitize(error);
+    case Kind::kError: {
+        // `ERR <code>` when the message is just the token (or empty),
+        // `ERR <code> <message>` otherwise — so `ERR busy` stays the
+        // exact bytes pre-v5 peers expect.
+        const std::string_view token = error_token(error_code);
+        if (error.empty() || error == token) {
+            return "ERR " + std::string(token);
+        }
+        return "ERR " + std::string(token) + " " + sanitize(error);
+    }
     case Kind::kPong:
         return "OK PONG v" + std::to_string(version);
     case Kind::kBye:
@@ -258,7 +278,11 @@ std::string Response::encode() const {
             << " ready=" << (health.ready ? 1 : 0)
             << " models=" << health.models
             << " faults=" << health.faults_injected
-            << " degraded=" << health.degraded;
+            << " degraded=" << health.degraded
+            << " recovered_generation=" << health.recovered_generation;
+        for (const auto& [key, value] : health.extras) {
+            out << ' ' << key << '=' << value;
+        }
         return out.str();
     }
     case Kind::kPartition: {
@@ -312,7 +336,22 @@ Response Response::decode(const std::string& line) {
     Response response;
     if (line.rfind("ERR", 0) == 0) {
         response.kind = Kind::kError;
-        response.error = line.size() > 4 ? line.substr(4) : std::string{};
+        const std::string body =
+            line.size() > 4 ? line.substr(4) : std::string{};
+        // v5 grammar: first token is an ErrorCode token.  Anything else
+        // is a pre-v5 free-text error, classified onto the nearest code
+        // with the full text kept as the message.
+        const auto space = body.find(' ');
+        const std::string head = body.substr(0, space);
+        if (const auto code = parse_error_token(head)) {
+            response.error_code = *code;
+            response.error = space == std::string::npos
+                                 ? head  // token alone; never empty
+                                 : body.substr(space + 1);
+        } else {
+            response.error_code = classify_legacy_error(body);
+            response.error = body;
+        }
         return response;
     }
     const auto tokens = tokenize(line);
@@ -372,18 +411,18 @@ Response Response::decode(const std::string& line) {
                 {tokens[i].substr(0, eq), tokens[i].substr(eq + 1)});
         }
     } else if (tag == "HEALTH") {
-        FPM_CHECK(tokens.size() == 7, "malformed HEALTH reply: " + line);
+        // Open key=value list since v5 (a v3/v4 reply is a strict
+        // prefix, so it decodes through the same path).
         response.kind = Kind::kHealth;
-        response.health.live =
-            parse_int(expect_kv(tokens[2], "live"), "live") != 0;
-        response.health.ready =
-            parse_int(expect_kv(tokens[3], "ready"), "ready") != 0;
-        response.health.models = static_cast<std::uint64_t>(
-            parse_int(expect_kv(tokens[4], "models"), "model count"));
-        response.health.faults_injected = static_cast<std::uint64_t>(
-            parse_int(expect_kv(tokens[5], "faults"), "fault count"));
-        response.health.degraded = static_cast<std::uint64_t>(
-            parse_int(expect_kv(tokens[6], "degraded"), "degraded count"));
+        std::vector<StatField> fields;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+            const auto eq = tokens[i].find('=');
+            FPM_CHECK(eq != std::string::npos && eq > 0,
+                      "malformed HEALTH field: " + tokens[i]);
+            fields.push_back(
+                {tokens[i].substr(0, eq), tokens[i].substr(eq + 1)});
+        }
+        response.health = ServerHealth::from_fields(fields);
     } else if (tag == "PARTITION") {
         FPM_CHECK(tokens.size() == 14, "malformed partition reply: " + line);
         response.kind = Kind::kPartition;
@@ -533,6 +572,21 @@ Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
         {"adapt_republished", std::to_string(adapt_republished.value())});
     fields.push_back(
         {"adapt_model_version", std::to_string(adapt_version.value())});
+
+    // Durable model store: process-global like the adapt layer (the
+    // store sits above serve).  All zero until a store is attached.
+    static auto& store_appended = metrics.counter("store.appended");
+    static auto& store_bytes = metrics.counter("store.bytes");
+    static auto& store_snapshots = metrics.counter("store.snapshots");
+    static auto& store_fsync = metrics.histogram("store.fsync_seconds");
+    static auto& recovered = metrics.gauge("store.recovered_generation");
+    fields.push_back({"store_appended", std::to_string(store_appended.value())});
+    fields.push_back({"store_bytes", std::to_string(store_bytes.value())});
+    fields.push_back(
+        {"store_snapshots", std::to_string(store_snapshots.value())});
+    append_histogram_us(fields, "store_fsync", store_fsync.snapshot());
+    fields.push_back(
+        {"recovered_generation", std::to_string(recovered.value())});
     return response;
 }
 
@@ -678,6 +732,27 @@ const std::map<std::string, StatSetter, std::less<>>& stat_setters() {
         m["adapt_model_version"] = [](ServerStats& s, const std::string& v) {
             s.adapt_model_version = stat_u64(v, "adapt_model_version");
         };
+        m["store_appended"] = [](ServerStats& s, const std::string& v) {
+            s.store_appended = stat_u64(v, "store_appended");
+        };
+        m["store_bytes"] = [](ServerStats& s, const std::string& v) {
+            s.store_bytes = stat_u64(v, "store_bytes");
+        };
+        m["store_snapshots"] = [](ServerStats& s, const std::string& v) {
+            s.store_snapshots = stat_u64(v, "store_snapshots");
+        };
+        m["store_fsync_p50_us"] = [](ServerStats& s, const std::string& v) {
+            s.store_fsync_p50_us = parse_double(v, "store_fsync_p50_us");
+        };
+        m["store_fsync_p95_us"] = [](ServerStats& s, const std::string& v) {
+            s.store_fsync_p95_us = parse_double(v, "store_fsync_p95_us");
+        };
+        m["store_fsync_p99_us"] = [](ServerStats& s, const std::string& v) {
+            s.store_fsync_p99_us = parse_double(v, "store_fsync_p99_us");
+        };
+        m["recovered_generation"] = [](ServerStats& s, const std::string& v) {
+            s.recovered_generation = stat_u64(v, "recovered_generation");
+        };
         algo_entries(m);
         return m;
     }();
@@ -698,6 +773,53 @@ ServerStats ServerStats::from_fields(const std::vector<StatField>& fields) {
         it->second(stats, field.value);
     }
     return stats;
+}
+
+namespace {
+
+/// The HEALTH analogue of stat_setters(): one entry per known field.
+using HealthSetter = void (*)(ServerHealth&, const std::string&);
+
+const std::map<std::string, HealthSetter, std::less<>>& health_setters() {
+    static const auto table = []() {
+        std::map<std::string, HealthSetter, std::less<>> m;
+        m["live"] = [](ServerHealth& h, const std::string& v) {
+            h.live = parse_int(v, "live") != 0;
+        };
+        m["ready"] = [](ServerHealth& h, const std::string& v) {
+            h.ready = parse_int(v, "ready") != 0;
+        };
+        m["models"] = [](ServerHealth& h, const std::string& v) {
+            h.models = stat_u64(v, "models");
+        };
+        m["faults"] = [](ServerHealth& h, const std::string& v) {
+            h.faults_injected = stat_u64(v, "faults");
+        };
+        m["degraded"] = [](ServerHealth& h, const std::string& v) {
+            h.degraded = stat_u64(v, "degraded");
+        };
+        m["recovered_generation"] = [](ServerHealth& h, const std::string& v) {
+            h.recovered_generation = stat_u64(v, "recovered_generation");
+        };
+        return m;
+    }();
+    return table;
+}
+
+} // namespace
+
+ServerHealth ServerHealth::from_fields(const std::vector<StatField>& fields) {
+    ServerHealth health;
+    const auto& setters = health_setters();
+    for (const StatField& field : fields) {
+        const auto it = setters.find(field.name);
+        if (it == setters.end()) {
+            health.extras[field.name] = field.value;  // forward-compat
+            continue;
+        }
+        it->second(health, field.value);
+    }
+    return health;
 }
 
 Response handle_request(RequestEngine& engine, const Request& request) {
@@ -738,6 +860,10 @@ Response handle_request(RequestEngine& engine, const Request& request) {
             response.health.ready = response.health.models > 0;
             response.health.faults_injected = fault::injected_total();
             response.health.degraded = engine.stats().degraded;
+            static auto& recovered = obs::MetricsRegistry::global().gauge(
+                "store.recovered_generation");
+            response.health.recovered_generation =
+                static_cast<std::uint64_t>(recovered.value());
             return response;
         }
         case Request::Kind::kPartition: {
@@ -752,17 +878,24 @@ Response handle_request(RequestEngine& engine, const Request& request) {
             return response;
         }
         }
-        return Response::make_error("unreachable");
+        return Response::make_error(ErrorCode::kInternal, "unreachable");
+    } catch (const ServiceError& e) {
+        return Response::make_error(e.code(), e.what());
     } catch (const std::exception& e) {
-        return Response::make_error(e.what());
+        // Anything untyped from the engine is a server-side fault.
+        return Response::make_error(ErrorCode::kInternal, e.what());
     }
 }
 
 std::string handle_line(RequestEngine& engine, const std::string& line) {
     try {
         return handle_request(engine, Request::decode(line)).encode();
+    } catch (const ServiceError& e) {
+        return Response::make_error(e.code(), e.what()).encode();
     } catch (const std::exception& e) {
-        return Response::make_error(e.what()).encode();
+        // Only Request::decode throws here, so the client sent a line
+        // this revision cannot parse.
+        return Response::make_error(ErrorCode::kBadRequest, e.what()).encode();
     }
 }
 
@@ -779,7 +912,10 @@ std::uint64_t request_fingerprint(const Request& request) {
 PartitionReply parse_partition_reply(const std::string& reply) {
     const Response response = Response::decode(reply);
     if (response.kind == Response::Kind::kError) {
-        throw Error("server error: " + response.error);
+        // Preserve the typed classification for callers that catch
+        // ServiceError; the message keeps the legacy shape.
+        throw ServiceError(response.error_code,
+                           "server error: " + response.error);
     }
     FPM_CHECK(response.kind == Response::Kind::kPartition,
               "malformed partition reply: " + reply);

@@ -145,7 +145,9 @@ PartitionResponse RequestEngine::execute(const PartitionRequest& request) {
         if (auto fallback = degrade(request, nullptr, timer.elapsed())) {
             return *std::move(fallback);
         }
-        throw Error("unknown model set: " + request.model_set);
+        // Caller mistake, not a server fault: `ERR bad_request ...`.
+        throw ServiceError(ErrorCode::kBadRequest,
+                           "unknown model set: " + request.model_set);
     }
     const PlanKey key{set->fingerprint, request.n, request.algorithm,
                       request.with_layout};
@@ -286,6 +288,12 @@ void RequestEngine::submit_async(const PartitionRequest& request,
         AsyncResult result;
         try {
             result.response = execute(request);
+        } catch (const ServiceError& e) {
+            result.error = e.what();
+            result.code = e.code();
+            if (result.error.empty()) {
+                result.error = "partition failed";
+            }
         } catch (const std::exception& e) {
             result.error = e.what();
             if (result.error.empty()) {
@@ -318,7 +326,10 @@ FeedbackReply RequestEngine::execute_feedback(const FeedbackSample& sample) {
         std::lock_guard lock(feedback_mutex_);
         handler = feedback_;
     }
-    FPM_CHECK(handler != nullptr, "feedback not enabled");
+    if (handler == nullptr) {
+        throw ServiceError(ErrorCode::kFeedbackDisabled,
+                           "feedback not enabled");
+    }
     return (*handler)(sample);
 }
 
@@ -329,6 +340,12 @@ void RequestEngine::submit_feedback_async(
         FeedbackAsyncResult result;
         try {
             result.reply = execute_feedback(sample);
+        } catch (const ServiceError& e) {
+            result.error = e.what();
+            result.code = e.code();
+            if (result.error.empty()) {
+                result.error = "feedback failed";
+            }
         } catch (const std::exception& e) {
             result.error = e.what();
             if (result.error.empty()) {

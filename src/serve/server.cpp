@@ -308,7 +308,7 @@ struct SocketServer::Reactor {
                 server.open_.fetch_sub(1);
                 metrics().rejected.add();
                 const std::string reply =
-                    Response::make_error("busy").encode() + "\n";
+                    Response::make_error(ErrorCode::kBusy).encode() + "\n";
                 (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
                 ::close(fd);
                 continue;
@@ -360,9 +360,15 @@ struct SocketServer::Reactor {
         Request request;
         try {
             request = Request::decode(line);
-        } catch (const std::exception& e) {
+        } catch (const ServiceError& e) {
             slot.ready = true;
-            slot.text = Response::make_error(e.what()).encode();
+            slot.text = Response::make_error(e.code(), e.what()).encode();
+            return;
+        } catch (const std::exception& e) {
+            // Decode failures are the client's malformed line.
+            slot.ready = true;
+            slot.text =
+                Response::make_error(ErrorCode::kBadRequest, e.what()).encode();
             return;
         }
         if (request.kind == Request::Kind::kPartition) {
@@ -399,7 +405,8 @@ struct SocketServer::Reactor {
                             make_partition_reply(partition, result.response);
                         text = response.encode();
                     } else {
-                        text = Response::make_error(result.error).encode();
+                        text = Response::make_error(result.code, result.error)
+                                   .encode();
                     }
                     queue->push(Completion{conn_id, seq, std::move(text)});
                 });
@@ -421,7 +428,8 @@ struct SocketServer::Reactor {
                         response.feedback = std::move(result.reply);
                         text = response.encode();
                     } else {
-                        text = Response::make_error(result.error).encode();
+                        text = Response::make_error(result.code, result.error)
+                                   .encode();
                     }
                     queue->push(Completion{conn_id, seq, std::move(text)});
                 });
@@ -443,7 +451,9 @@ struct SocketServer::Reactor {
                 if (conn.inbuf.size() > kMaxRequestLine) {
                     conn.pipeline.push_back(PendingReply{
                         conn.next_seq++, true,
-                        Response::make_error("request line too long").encode(),
+                        Response::make_error(ErrorCode::kBadRequest,
+                                             "request line too long")
+                            .encode(),
                         Clock::now()});
                     conn.closing = true;
                 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fpm/serve/error.hpp"
 #include "fpm/serve/protocol.hpp"
 #include "fpm/serve/request_engine.hpp"
 
@@ -119,10 +120,53 @@ TEST(DocsConsistency, OperationsRunbookCoversEnvironmentVariables) {
     for (const char* point :
          {"serve.accept", "serve.recv", "serve.send", "serve.cache",
           "serve.compute", "serve.reload", "rt.dispatch", "adapt.ingest",
-          "adapt.refine", "adapt.publish"}) {
+          "adapt.refine", "adapt.publish", "store.append", "store.fsync",
+          "store.snapshot"}) {
         EXPECT_NE(runbook.find(point), std::string::npos)
             << "fault point '" << point
             << "' is not documented in docs/operations.md";
+    }
+}
+
+TEST(DocsConsistency, ProtocolSpecTabulatesEveryErrorToken) {
+    // The wire error tokens are a closed, append-only compatibility
+    // surface: every ErrorCode's token must appear in the protocol
+    // spec's taxonomy table.  Walk the enum until error_token() reports
+    // a code the build does not know (the enum is dense from 0).
+    const std::string spec = read_file("docs/protocol.md");
+    const std::vector<fpm::serve::ErrorCode> codes = {
+        fpm::serve::ErrorCode::kInternal,
+        fpm::serve::ErrorCode::kBusy,
+        fpm::serve::ErrorCode::kUnsupportedVerb,
+        fpm::serve::ErrorCode::kFeedbackDisabled,
+        fpm::serve::ErrorCode::kBadRequest,
+        fpm::serve::ErrorCode::kStoreUnavailable,
+    };
+    for (const auto code : codes) {
+        const std::string token(fpm::serve::error_token(code));
+        ASSERT_FALSE(token.empty());
+        EXPECT_NE(spec.find("`" + token + "`"), std::string::npos)
+            << "error token '" << token
+            << "' is missing from the docs/protocol.md taxonomy table";
+    }
+    // The grammar itself and the open HEALTH shape.
+    for (const char* text :
+         {"ERR <token> [<message>]", "ServerHealth", "ErrorCode",
+          "recovered_generation"}) {
+        EXPECT_NE(spec.find(text), std::string::npos)
+            << "'" << text << "' is not documented in docs/protocol.md";
+    }
+}
+
+TEST(DocsConsistency, OperationsRunbookCoversTheDurableStore) {
+    const std::string runbook = read_file("docs/operations.md");
+    for (const char* token :
+         {"--store", "--store-fsync", "--store-snapshot-every",
+          "fpm::store", "wal-", "snapshot-", "fpmmodel v2",
+          "store_unavailable", "kill -9", "ci/crash_recovery.sh",
+          "recovered generation"}) {
+        EXPECT_NE(runbook.find(token), std::string::npos)
+            << "'" << token << "' is not documented in docs/operations.md";
     }
 }
 
@@ -195,7 +239,8 @@ TEST(DocsConsistency, DesignDocDescribesTheCurrentArchitecture) {
     for (const char* token :
          {"fpm::fault", "epoll", "reactor", "degraded", "RequestEngine",
           "fpm::adapt", "FEEDBACK", "SO_REUSEPORT", "num_reactors",
-          "cache_shards"}) {
+          "cache_shards", "fpm::store", "write-ahead", "put observer",
+          "ErrorCode"}) {
         EXPECT_NE(design.find(token), std::string::npos)
             << "DESIGN.md does not mention '" << token << "'";
     }

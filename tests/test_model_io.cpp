@@ -1,10 +1,13 @@
-// Tests for model persistence: CSV round-trips, schema validation and
-// failure injection with malformed files.
+// Tests for model persistence: CSV round-trips, the versioned `fpmmodel`
+// magic header (v2 written, headerless v1 still read, newer rejected),
+// ParseError line/column diagnostics, schema validation and failure
+// injection with malformed files.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "fpm/core/model_io.hpp"
 
@@ -133,6 +136,78 @@ TEST_F(ModelIoTest, BlankLinesIgnored) {
     const auto loaded = load_speed_functions_csv(path_);
     ASSERT_EQ(loaded.size(), 1U);
     EXPECT_EQ(loaded[0].points().size(), 2U);
+}
+
+TEST_F(ModelIoTest, WritesTheV2MagicHeader) {
+    save_speed_functions_csv(path_, {SpeedFunction::constant(1.0, "dev")});
+    std::ifstream in(path_);
+    std::string first_line;
+    ASSERT_TRUE(std::getline(in, first_line));
+    EXPECT_EQ(first_line, std::string(kModelFileMagic) + " v" +
+                              std::to_string(kModelFormatVersion));
+}
+
+TEST_F(ModelIoTest, HeaderlessV1FilesStillLoad) {
+    write_file("name,max_problem,x,speed\ndev,inf,10,5\ndev,inf,20,6\n");
+    const auto loaded = load_speed_functions_csv(path_);
+    ASSERT_EQ(loaded.size(), 1U);
+    EXPECT_EQ(loaded[0].points().size(), 2U);
+}
+
+TEST_F(ModelIoTest, NewerFormatVersionsAreRejectedNotMisparsed) {
+    write_file("fpmmodel v" + std::to_string(kModelFormatVersion + 1) +
+               "\nname,max_problem,x,speed\ndev,inf,10,5\n");
+    try {
+        (void)load_speed_functions_csv(path_);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 1U);
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+}
+
+TEST_F(ModelIoTest, ParseErrorPinpointsLineAndColumn) {
+    // Row 3 of the file (header, good row, bad row); the non-numeric
+    // speed sits in CSV column 4.
+    write_file("fpmmodel v2\nname,max_problem,x,speed\ndev,inf,10,5\n"
+               "dev,inf,20,bogus\n");
+    try {
+        (void)load_speed_functions_csv(path_);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.origin(), path_);
+        EXPECT_EQ(e.line(), 4U);
+        EXPECT_EQ(e.column(), 4U);
+        EXPECT_NE(std::string(e.what()).find(path_), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+    }
+}
+
+TEST_F(ModelIoTest, StreamEntryPointsRoundTripAndLabelTheOrigin) {
+    // The durable store embeds model text in WAL records through the
+    // stream API; the caller-supplied origin labels its diagnostics.
+    const std::vector<SpeedFunction> models = {
+        SpeedFunction({{10.0, 5.5}, {100.0, 20.25}}, "socket0"),
+        SpeedFunction({{8.0, 900.0}, {1206.0, 950.0}}, "gtx680", 1206.0),
+    };
+    std::ostringstream out;
+    write_speed_functions(out, models);
+
+    std::istringstream in(out.str());
+    const auto loaded = read_speed_functions(in, "wal record");
+    ASSERT_EQ(loaded.size(), 2U);
+    EXPECT_EQ(loaded[0].name(), "socket0");
+    EXPECT_EQ(loaded[1].name(), "gtx680");
+
+    std::istringstream bad("fpmmodel v2\nname,max_problem,x,speed\nd,inf,1\n");
+    try {
+        (void)read_speed_functions(bad, "wal record");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.origin(), "wal record");
+        EXPECT_NE(std::string(e.what()).find("wal record"),
+                  std::string::npos);
+    }
 }
 
 TEST_F(ModelIoTest, ScaledCopy) {

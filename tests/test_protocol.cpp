@@ -446,8 +446,7 @@ TEST(ProtocolFuzz, WrongArityRepliesAreErrors) {
         "OK BYE now",
         "OK LOADED name=x models=1 gen=1",              // missing fingerprint
         "OK MODELS count=2 sets=cpu:1:2",               // count mismatch
-        "OK HEALTH live=1 ready=1 models=1 faults=0",   // missing degraded
-        "OK HEALTH live=1 ready=1 models=1 faults=0 degraded=0 extra=1",
+        "OK HEALTH live=1 ready=1 novalue",             // not key=value
         "OK PARTITION model=m gen=1 n=4 algo=fpm cached=0 coalesced=0 "
         "balanced=1 makespan=1 comm=1 blocks=1 layout=-",  // v2-era: no degraded
         "OK STATS novalue",

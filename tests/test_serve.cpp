@@ -249,10 +249,22 @@ TEST(Protocol, RequestEncodeDecodeRoundTrip) {
 TEST(Protocol, ResponseEncodeDecodeRoundTrip) {
     {
         const Response error = Response::make_error("it\nbroke");
-        EXPECT_EQ(error.encode(), "ERR it broke");  // newline sanitized
+        // v5: legacy free text classifies as internal, newline sanitized.
+        EXPECT_EQ(error.encode(), "ERR internal it broke");
         const Response decoded = Response::decode(error.encode());
         EXPECT_EQ(decoded.kind, Response::Kind::kError);
+        EXPECT_EQ(decoded.error_code, ErrorCode::kInternal);
         EXPECT_EQ(decoded.error, "it broke");
+    }
+    {
+        // A message-less typed error is the bare token on the wire and
+        // round-trips to itself (`error` is never empty).
+        const Response busy = Response::make_error(ErrorCode::kBusy);
+        EXPECT_EQ(busy.encode(), "ERR busy");
+        const Response decoded = Response::decode(busy.encode());
+        EXPECT_EQ(decoded.error_code, ErrorCode::kBusy);
+        EXPECT_EQ(decoded.error, "busy");
+        EXPECT_EQ(decoded.encode(), "ERR busy");
     }
     {
         Response pong;

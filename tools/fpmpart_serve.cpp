@@ -18,7 +18,14 @@
 // models online (fpm::adapt): reliable evidence refines the speed
 // functions and sustained drift hot-publishes a new model version (see
 // docs/adaptation.md).  Without it FEEDBACK answers
-// `ERR feedback not enabled`.
+// `ERR feedback_disabled`.
+//
+// With `--store DIR` every published model generation (operator LOAD,
+// adapt republish) is logged to a durable WAL + snapshot store
+// (fpm::store) before it is acknowledged, and on startup the registry is
+// recovered from that directory — after a crash the server serves the
+// exact pre-crash generations, bit for bit (see docs/operations.md).
+// `--models` sets already present in the recovered state are skipped.
 //
 // Fault drills: set FPMPART_FAULTS (see docs/operations.md) before
 // launch to arm deterministic injection points; the armed rule count is
@@ -39,6 +46,7 @@
 #include "fpm/adapt/engine.hpp"
 #include "fpm/fault/fault.hpp"
 #include "fpm/serve/server.hpp"
+#include "fpm/store/model_store.hpp"
 #include "tool_args.hpp"
 
 int main(int argc, char** argv) {
@@ -67,6 +75,9 @@ int main(int argc, char** argv) {
                   &adapt_config.target_relative_error, 0.0)
             .bind("--adapt-drift", "X", &adapt_config.drift_threshold, 0.0)
             .bind("--adapt-cusum", "X", &adapt_config.cusum_limit, 0.0)
+            .bind("--store", "DIR", &config.store_dir)
+            .bind("--store-fsync", "always|never", &config.fsync_policy)
+            .bind("--store-snapshot-every", "N", &config.snapshot_every, 0)
             .trace();
         if (!flags.parse(argc, argv)) {
             return 2;
@@ -79,8 +90,49 @@ int main(int argc, char** argv) {
                          flags.usage().c_str());
             return 2;
         }
+        // Validate even without --store: a typo'd policy must not be
+        // silently ignored just because durability is off today.
+        store::StoreOptions store_options;
+        try {
+            store_options.fsync_policy =
+                store::parse_fsync_policy(config.fsync_policy);
+        } catch (const Error& e) {
+            std::fprintf(stderr, "error: --store-fsync: %s\n%s", e.what(),
+                         flags.usage().c_str());
+            return 2;
+        }
+        store_options.snapshot_every = config.snapshot_every;
 
         serve::ModelRegistry registry;
+
+        // Durability first: recover what a previous process published,
+        // then attach so every publish below (including the --models
+        // loads) is write-ahead logged before it commits.
+        std::unique_ptr<store::ModelStore> model_store;
+        if (!config.store_dir.empty()) {
+            model_store = std::make_unique<store::ModelStore>(config.store_dir,
+                                                              store_options);
+            const auto recovered = model_store->recover(registry);
+            std::printf("store '%s': recovered generation %llu "
+                        "(%zu set(s), snapshot gen %llu + %llu WAL record(s), "
+                        "%llu torn byte(s) truncated), fsync %s, "
+                        "snapshot every %llu\n",
+                        config.store_dir.c_str(),
+                        static_cast<unsigned long long>(
+                            recovered.recovered_generation),
+                        recovered.sets,
+                        static_cast<unsigned long long>(
+                            recovered.snapshot_generation),
+                        static_cast<unsigned long long>(recovered.wal_records),
+                        static_cast<unsigned long long>(
+                            recovered.truncated_bytes),
+                        std::string(to_string(store_options.fsync_policy))
+                            .c_str(),
+                        static_cast<unsigned long long>(
+                            store_options.snapshot_every));
+            model_store->attach(registry);
+        }
+
         for (const auto& spec : model_specs) {
             const auto eq = spec.find('=');
             if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
@@ -88,8 +140,16 @@ int main(int argc, char** argv) {
                              spec.c_str(), flags.usage().c_str());
                 return 2;
             }
-            const auto set =
-                registry.load_csv(spec.substr(0, eq), spec.substr(eq + 1));
+            const std::string name = spec.substr(0, eq);
+            if (registry.find(name) != nullptr) {
+                // The recovered state is newer than the CSV on disk (it
+                // may hold adapt refinements); keep it.
+                std::printf("model set '%s' recovered from the store; "
+                            "skipping %s\n",
+                            name.c_str(), spec.substr(eq + 1).c_str());
+                continue;
+            }
+            const auto set = registry.load_csv(name, spec.substr(eq + 1));
             std::printf("loaded model set '%s': %zu model(s), generation %llu\n",
                         set->name.c_str(), set->models.size(),
                         static_cast<unsigned long long>(set->generation));
@@ -137,10 +197,21 @@ int main(int argc, char** argv) {
                     config.idle_timeout);
         std::fflush(stdout);
 
-        // Serve until stdin closes; stop() drains in-flight work.
+        // Serve until stdin closes; stop() drains in-flight work, then
+        // the store takes its final compacted snapshot (no publishes can
+        // arrive once the server and adapter are quiet).
         for (int ch = std::getchar(); ch != EOF; ch = std::getchar()) {
         }
         server.stop();
+        if (model_store) {
+            model_store->stop();
+            const auto store_stats = model_store->stats();
+            std::printf("store: %llu append(s), %llu byte(s), "
+                        "%llu snapshot(s)\n",
+                        static_cast<unsigned long long>(store_stats.appended),
+                        static_cast<unsigned long long>(store_stats.bytes),
+                        static_cast<unsigned long long>(store_stats.snapshots));
+        }
 
         // The shutdown dump reads the same typed ServerStats surface a
         // remote client gets from ServeClient::stats().
