@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Perf regression gate for the serve stack: builds fpmpart_bench, runs
+# the pinned smoke workload twice (1 reactor, then 4 reactors) against
+# the same spawned server stack, and compares each run against the
+# checked-in baseline bench/baselines/serve_smoke.json.  fpmpart_bench
+# itself does the comparison (--baseline/--tolerance) and exits 3 on a
+# regression, so this script needs no JSON tooling.
+#
+# The smoke workload is closed-loop with a fixed request budget: the
+# latency numbers are pure client round trips (no arrival-schedule
+# jitter), which keeps the tail quantiles stable enough to gate on.
+# Methodology and the report schema: docs/benchmarking.md.
+#
+# Usage: ci/perf_gate.sh [build-dir]       (default: build)
+#
+#   FPMPART_PERF_TOLERANCE   allowed fractional regression (default 0.6;
+#                            0.6 = rate may drop 60%, latency rise 60%)
+#   FPMPART_PERF_UPDATE=1    re-measure the baseline instead of gating
+#                            (run on a quiet machine, then commit it)
+#   FPMPART_BUILD_JOBS       build parallelism (default 2)
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build}"
+jobs="${FPMPART_BUILD_JOBS:-2}"
+tol="${FPMPART_PERF_TOLERANCE:-0.6}"
+baseline="$repo/bench/baselines/serve_smoke.json"
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$build" -j "$jobs" --target fpmpart_bench fpmpart_model
+
+models="$build/perf_gate_models.csv"
+"$build/tools/fpmpart_model" --source sim --config hybrid \
+  --out "$models" >/dev/null
+
+# The pinned smoke workload: every knob fixed, so a run differs from the
+# baseline only by machine and code.  Keep in sync with
+# docs/benchmarking.md and regenerate the baseline when changing it.
+smoke() { # <reactors> <out-file> [gate flags...]
+  local reactors="$1" out="$2"
+  shift 2
+  "$build/tools/fpmpart_bench" \
+    --models hybrid="$models" --reactors "$reactors" --threads 4 \
+    --mode closed --connections 4 --requests 4000 --seed 7 \
+    --mix 8:1:1:0 --n-min 16 --n-max 96 \
+    --out "$out" "$@"
+}
+
+if [ "${FPMPART_PERF_UPDATE:-0}" = "1" ]; then
+  echo "== perf gate: re-measuring baseline (1 reactor) =="
+  smoke 1 "$baseline"
+  echo "baseline updated: $baseline (review and commit it)"
+  exit 0
+fi
+
+echo "== perf gate: 1 reactor vs $baseline (tolerance $tol) =="
+smoke 1 "$build/BENCH_loadgen_r1.json" --baseline "$baseline" --tolerance "$tol"
+
+echo "== perf gate: 4 reactors vs $baseline (tolerance $tol) =="
+smoke 4 "$build/BENCH_loadgen_r4.json" --baseline "$baseline" --tolerance "$tol"
+
+echo "perf gate: OK"

@@ -1,0 +1,96 @@
+/// \file runner.hpp
+/// \brief Drives a live partition server with a deterministic workload.
+///
+/// Two loop disciplines, one Report:
+///
+///  * **Closed loop** — `connections` workers each own a ServeClient and
+///    issue requests back-to-back (optionally separated by a think-time
+///    sleep).  The offered rate adapts to the server: a slow server
+///    simply sees fewer requests.  Latency is the client round trip
+///    (ServeClient::last_rtt_seconds).  This is the discipline for
+///    "how fast can N well-behaved clients go".
+///
+///  * **Open loop** — the arrival schedule is expanded up front from
+///    (arrival process, target_rps, duration, seed) and a dispatcher
+///    releases one request per scheduled arrival, regardless of how the
+///    server is doing.  Workers pull released requests from a queue
+///    bounded at `max_outstanding`; when the server falls behind and the
+///    queue is full, the arrival is **dropped and counted** — never
+///    silently deferred.  Latency is measured from the *scheduled*
+///    arrival time to completion, so queueing delay the server caused is
+///    charged to the server.  Together the two rules make coordinated
+///    omission a number in the report (`dropped`, and inflated tail
+///    quantiles) instead of a blind spot.
+///
+/// Workers materialise request i as nth_request(spec, i) — the stream is
+/// a pure function of the spec, so two runs with equal specs offer
+/// byte-identical traffic (Report::stream_fingerprint proves it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fpm/loadgen/report.hpp"
+#include "fpm/loadgen/workload.hpp"
+#include "fpm/serve/serve_config.hpp"
+
+namespace fpm::loadgen {
+
+/// Loop discipline; see file comment.
+enum class Mode { kClosed, kOpen };
+
+/// Lower-case report/JSON name of a mode ("closed" | "open").
+[[nodiscard]] const char* mode_name(Mode mode) noexcept;
+
+/// How to drive the server (the WorkloadSpec says *what* to send, this
+/// says *how hard*).
+struct LoadConfig {
+    // -- target -------------------------------------------------------
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Client-side timeouts/retry policy (retries stay off by default:
+    /// the generator wants to *see* failures, not paper over them).
+    serve::ServeConfig serve;
+
+    Mode mode = Mode::kClosed;
+
+    /// Concurrent connections (worker threads); both modes.
+    std::size_t connections = 4;
+
+    // -- closed loop --------------------------------------------------
+    /// Sleep between a reply and the next request of the same worker.
+    double think_time_seconds = 0.0;
+    /// Total request budget; 0 means run until `duration_seconds`
+    /// elapses.  A fixed budget makes the closed-loop stream length —
+    /// and therefore its fingerprint — deterministic.
+    std::uint64_t requests = 0;
+
+    // -- open loop ----------------------------------------------------
+    Arrival arrival = Arrival::kPoisson;
+    double target_rps = 1000.0;
+    /// Bound of the released-but-not-completed queue; a full queue makes
+    /// the next arrival a drop (see file comment).
+    std::size_t max_outstanding = 64;
+
+    /// Run length: the schedule horizon (open), or the stop deadline
+    /// when `requests` is 0 (closed).
+    double duration_seconds = 1.0;
+
+    /// Test hook: observes every completed round trip.  Calls are
+    /// serialised by the runner, so the callback itself need not be
+    /// thread-safe; keep it cheap — it runs on the worker's hot path.
+    std::function<void(std::uint64_t index, const serve::Request& request,
+                       const std::string& reply_line)>
+        observer;
+};
+
+/// Runs the workload against the configured server and returns the
+/// measured Report.  Blocks until the run finishes.  Throws fpm::Error
+/// on an invalid spec/config or when the initial connections cannot be
+/// established; mid-run transport failures are *counted* (errors),
+/// not thrown.
+[[nodiscard]] Report run(const WorkloadSpec& spec, const LoadConfig& config);
+
+} // namespace fpm::loadgen

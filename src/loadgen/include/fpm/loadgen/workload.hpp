@@ -1,0 +1,103 @@
+/// \file workload.hpp
+/// \brief Deterministic workload specification for the load generator.
+///
+/// A WorkloadSpec describes *what* traffic looks like — the verb mix
+/// (PARTITION/STATS/HEALTH/FEEDBACK weights), the model sets it targets
+/// and the problem-size distribution — and a single seed makes the whole
+/// request stream reproducible bit for bit.  The generator is stateless
+/// and *indexable*: request i is a pure function of (spec, i), computed
+/// by hashing the seed with the index, so closed-loop workers pulling
+/// indices off an atomic counter, the open-loop dispatcher walking its
+/// arrival schedule, and a replay run all materialise the exact same
+/// stream regardless of thread interleaving.  stream_fingerprint()
+/// condenses the first `count` encoded request lines into one 64-bit
+/// FNV-1a value, which the report embeds so two runs can be checked for
+/// identical streams without diffing wire logs.
+///
+/// The open-loop arrival schedule is equally deterministic:
+/// arrival_schedule() expands (arrival process, rate, duration, seed)
+/// into the full list of send offsets up front — Poisson draws
+/// exponential inter-arrival gaps from an fpm::Rng, uniform paces
+/// requests exactly 1/rps apart — so the *offered* load is fixed by the
+/// spec, never by how fast the server happens to answer (the property
+/// that makes coordinated omission measurable, see runner.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/serve/protocol.hpp"
+
+namespace fpm::loadgen {
+
+/// The request verbs the generator can emit, in report order.
+enum class Verb { kPartition, kStats, kHealth, kFeedback };
+inline constexpr std::size_t kVerbCount = 4;
+
+/// Lower-case report/JSON name of a verb ("partition", "stats", ...).
+[[nodiscard]] const char* verb_name(Verb verb) noexcept;
+
+/// See file comment.  Weights are relative (they need not sum to 1);
+/// a verb with weight 0 never appears.  All-zero weights are invalid.
+struct WorkloadSpec {
+    /// Model sets PARTITION/FEEDBACK requests target, drawn uniformly.
+    /// Must be non-empty when those verbs have weight.
+    std::vector<std::string> model_sets;
+
+    // -- verb mix -----------------------------------------------------
+    double partition_weight = 1.0;
+    double stats_weight = 0.0;
+    double health_weight = 0.0;
+    /// FEEDBACK against a server without `--adapt on` answers
+    /// `ERR feedback_disabled`, which the recorder counts as an error —
+    /// leave at 0 unless the target server adapts.
+    double feedback_weight = 0.0;
+
+    // -- PARTITION parameters -----------------------------------------
+    /// Problem size n drawn uniformly (integers, inclusive) from
+    /// [n_min, n_max].  A wide range defeats the plan cache (cold
+    /// computes); a narrow one measures the cache-hit path.
+    std::int64_t n_min = 16;
+    std::int64_t n_max = 96;
+    serve::Algorithm algorithm = serve::Algorithm::kFpm;
+    bool with_layout = true;
+
+    // -- FEEDBACK parameters ------------------------------------------
+    std::int64_t feedback_devices = 4;  ///< device drawn from [0, devices)
+
+    /// Seed of the whole stream; same spec + same seed = same requests.
+    std::uint64_t seed = 1;
+};
+
+/// Request `index` of the stream described by `spec` — a pure function
+/// (see file comment).  Throws fpm::Error on an invalid spec (all
+/// weights zero, or no model sets while a set-addressed verb has
+/// weight).
+[[nodiscard]] serve::Request nth_request(const WorkloadSpec& spec,
+                                         std::uint64_t index);
+
+/// Classifies a generated request for per-verb accounting.
+[[nodiscard]] Verb verb_of(const serve::Request& request) noexcept;
+
+/// FNV-1a over the first `count` encoded request lines ('\n'-joined).
+/// Two runs with equal fingerprints sent byte-identical streams.
+[[nodiscard]] std::uint64_t stream_fingerprint(const WorkloadSpec& spec,
+                                               std::uint64_t count);
+
+/// Open-loop arrival process.
+enum class Arrival { kPoisson, kUniform };
+
+[[nodiscard]] const char* arrival_name(Arrival arrival) noexcept;
+
+/// Expands the arrival process into absolute send offsets (seconds from
+/// the run start, non-decreasing) covering [0, duration).  Poisson draws
+/// exponential gaps with mean 1/rps from Rng(seed); uniform paces
+/// exactly 1/rps.  Throws fpm::Error when rps or duration is not
+/// positive.
+[[nodiscard]] std::vector<double> arrival_schedule(Arrival arrival,
+                                                   double rps,
+                                                   double duration,
+                                                   std::uint64_t seed);
+
+} // namespace fpm::loadgen

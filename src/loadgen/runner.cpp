@@ -1,0 +1,292 @@
+#include "fpm/loadgen/runner.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fpm/common/error.hpp"
+#include "fpm/obs/metrics.hpp"
+#include "fpm/serve/client.hpp"
+
+namespace fpm::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration to_duration(double seconds) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+/// One verb's (or the whole run's) tallies; histograms record seconds.
+struct Tally {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> degraded{0};
+    obs::Histogram latency;
+};
+
+struct Shared {
+    const WorkloadSpec& spec;
+    const LoadConfig& cfg;
+    Tally total;
+    std::array<Tally, kVerbCount> by_verb;
+    std::mutex observer_mutex;
+};
+
+/// Reconnect attempt that reports failure as nullptr, for mid-run
+/// recovery (the *initial* connections throw instead, see run()).
+std::unique_ptr<serve::ServeClient> try_connect(const LoadConfig& cfg) {
+    try {
+        return std::make_unique<serve::ServeClient>(cfg.host, cfg.port,
+                                                    cfg.serve);
+    } catch (const Error&) {
+        return nullptr;
+    }
+}
+
+/// Issues request `index` on `client` and records the outcome.  Open
+/// loop passes the scheduled arrival time so queueing delay is charged
+/// to the latency; closed loop passes nullptr and uses the client's own
+/// round-trip clock.  Never throws: transport failures count as errors
+/// and drop the connection (the next call reconnects).
+void issue(Shared& s, std::unique_ptr<serve::ServeClient>& client,
+           std::uint64_t index, const Clock::time_point* scheduled) {
+    const serve::Request request = nth_request(s.spec, index);
+    Tally& verb = s.by_verb[static_cast<std::size_t>(verb_of(request))];
+    verb.sent.fetch_add(1, std::memory_order_relaxed);
+    s.total.sent.fetch_add(1, std::memory_order_relaxed);
+
+    if (!client) {
+        client = try_connect(s.cfg);
+    }
+    std::string reply;
+    if (client) {
+        try {
+            reply = client->request(request.encode());
+        } catch (const Error&) {
+            client.reset();
+        }
+    }
+    if (!client) {
+        verb.errors.fetch_add(1, std::memory_order_relaxed);
+        s.total.errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    const double latency =
+        scheduled != nullptr
+            ? std::chrono::duration<double>(Clock::now() - *scheduled).count()
+            : client->last_rtt_seconds();
+
+    bool is_error = false;
+    bool is_degraded = false;
+    try {
+        const serve::Response response = serve::Response::decode(reply);
+        is_error = response.kind == serve::Response::Kind::kError;
+        is_degraded = response.kind == serve::Response::Kind::kPartition &&
+                      response.partition.degraded;
+    } catch (const Error&) {
+        is_error = true;  // structurally malformed reply
+    }
+
+    verb.completed.fetch_add(1, std::memory_order_relaxed);
+    s.total.completed.fetch_add(1, std::memory_order_relaxed);
+    if (is_error) {
+        verb.errors.fetch_add(1, std::memory_order_relaxed);
+        s.total.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (is_degraded) {
+        verb.degraded.fetch_add(1, std::memory_order_relaxed);
+        s.total.degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    verb.latency.record(latency);
+    s.total.latency.record(latency);
+
+    if (s.cfg.observer) {
+        const std::lock_guard<std::mutex> lock(s.observer_mutex);
+        s.cfg.observer(index, request, reply);
+    }
+}
+
+void validate(const LoadConfig& cfg) {
+    FPM_CHECK(cfg.connections >= 1, "load config needs connections >= 1");
+    FPM_CHECK(cfg.think_time_seconds >= 0.0,
+              "load config needs think_time_seconds >= 0");
+    if (cfg.mode == Mode::kClosed) {
+        FPM_CHECK(cfg.requests > 0 || cfg.duration_seconds > 0.0,
+                  "closed loop needs a request budget or a duration");
+    } else {
+        FPM_CHECK(cfg.max_outstanding >= 1,
+                  "open loop needs max_outstanding >= 1");
+        // target_rps and duration_seconds are checked by
+        // arrival_schedule().
+    }
+}
+
+} // namespace
+
+const char* mode_name(Mode mode) noexcept {
+    return mode == Mode::kClosed ? "closed" : "open";
+}
+
+Report run(const WorkloadSpec& spec, const LoadConfig& cfg) {
+    validate(cfg);
+    (void)nth_request(spec, 0);  // fail fast on an invalid workload
+
+    Shared shared{spec, cfg, {}, {}, {}};
+
+    // Establish every connection up front — a wrong host/port should
+    // throw before the run starts, not surface as 100 % errors.
+    std::vector<std::unique_ptr<serve::ServeClient>> clients;
+    clients.reserve(cfg.connections);
+    for (std::size_t c = 0; c < cfg.connections; ++c) {
+        clients.push_back(std::make_unique<serve::ServeClient>(
+            cfg.host, cfg.port, cfg.serve));
+    }
+
+    std::vector<double> schedule;
+    std::uint64_t scheduled = 0;
+    std::atomic<std::uint64_t> dropped{0};
+    std::vector<std::thread> workers;
+    workers.reserve(cfg.connections);
+
+    const Clock::time_point start = Clock::now();
+
+    if (cfg.mode == Mode::kClosed) {
+        std::atomic<std::uint64_t> next{0};
+        const Clock::time_point deadline =
+            start + to_duration(cfg.duration_seconds);
+        for (std::size_t c = 0; c < cfg.connections; ++c) {
+            workers.emplace_back([&shared, &next, &cfg, deadline,
+                                  client = std::move(clients[c])]() mutable {
+                for (;;) {
+                    if (cfg.requests == 0 && Clock::now() >= deadline) {
+                        break;
+                    }
+                    const std::uint64_t index =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (cfg.requests > 0 && index >= cfg.requests) {
+                        break;
+                    }
+                    issue(shared, client, index, nullptr);
+                    if (cfg.think_time_seconds > 0.0) {
+                        std::this_thread::sleep_for(
+                            to_duration(cfg.think_time_seconds));
+                    }
+                }
+            });
+        }
+        for (std::thread& worker : workers) {
+            worker.join();
+        }
+    } else {
+        schedule = arrival_schedule(cfg.arrival, cfg.target_rps,
+                                    cfg.duration_seconds, spec.seed);
+        scheduled = schedule.size();
+
+        struct Item {
+            std::uint64_t index;
+            Clock::time_point due;
+        };
+        std::deque<Item> queue;
+        std::mutex mutex;
+        std::condition_variable ready;
+        bool closed = false;
+
+        for (std::size_t c = 0; c < cfg.connections; ++c) {
+            workers.emplace_back([&shared, &queue, &mutex, &ready, &closed,
+                                  client = std::move(clients[c])]() mutable {
+                for (;;) {
+                    Item item{};
+                    {
+                        std::unique_lock<std::mutex> lock(mutex);
+                        ready.wait(lock,
+                                   [&] { return closed || !queue.empty(); });
+                        if (queue.empty()) {
+                            return;  // closed and drained
+                        }
+                        item = queue.front();
+                        queue.pop_front();
+                    }
+                    issue(shared, client, item.index, &item.due);
+                }
+            });
+        }
+
+        // Dispatcher: release each arrival at its scheduled time.  A full
+        // queue means the server is `max_outstanding` requests behind the
+        // offered load — the arrival is dropped and counted, never
+        // deferred (deferring would be coordinated omission).
+        for (std::uint64_t i = 0; i < scheduled; ++i) {
+            const Clock::time_point due = start + to_duration(schedule[i]);
+            std::this_thread::sleep_until(due);
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                if (queue.size() >= cfg.max_outstanding) {
+                    dropped.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                queue.push_back(Item{i, due});
+            }
+            ready.notify_one();
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            closed = true;
+        }
+        ready.notify_all();
+        for (std::thread& worker : workers) {
+            worker.join();
+        }
+    }
+
+    const double measured =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    Report report;
+    report.mode = mode_name(cfg.mode);
+    report.arrival =
+        cfg.mode == Mode::kOpen ? arrival_name(cfg.arrival) : "";
+    report.seed = spec.seed;
+    report.connections = cfg.connections;
+    report.max_outstanding = cfg.mode == Mode::kOpen ? cfg.max_outstanding : 0;
+    report.think_time_seconds =
+        cfg.mode == Mode::kClosed ? cfg.think_time_seconds : 0.0;
+    report.duration_seconds = measured;
+    report.target_rps = cfg.mode == Mode::kOpen ? cfg.target_rps : 0.0;
+
+    report.sent = shared.total.sent.load();
+    report.completed = shared.total.completed.load();
+    report.errors = shared.total.errors.load();
+    report.degraded = shared.total.degraded.load();
+    report.dropped = dropped.load();
+    // Closed loop offers exactly what it sends; open loop offers the
+    // whole schedule.  Either way scheduled == sent + dropped.
+    report.scheduled = cfg.mode == Mode::kOpen ? scheduled : report.sent;
+    report.achieved_rps =
+        measured > 0.0 ? static_cast<double>(report.completed) / measured
+                       : 0.0;
+    report.stream_fingerprint = stream_fingerprint(spec, report.scheduled);
+    report.latency = LatencyReport::from(shared.total.latency.snapshot());
+    for (std::size_t v = 0; v < kVerbCount; ++v) {
+        const Tally& tally = shared.by_verb[v];
+        VerbReport& verb = report.by_verb[v];
+        verb.sent = tally.sent.load();
+        verb.completed = tally.completed.load();
+        verb.errors = tally.errors.load();
+        verb.degraded = tally.degraded.load();
+        verb.latency = LatencyReport::from(tally.latency.snapshot());
+    }
+    return report;
+}
+
+} // namespace fpm::loadgen

@@ -88,6 +88,7 @@ struct HistogramSnapshot {
     double p50 = 0.0;  ///< log-bucket quantiles, <= ~9 % relative error
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;  ///< tail quantile the load generator reports
 
     [[nodiscard]] double mean() const noexcept {
         return count == 0 ? 0.0 : sum / static_cast<double>(count);

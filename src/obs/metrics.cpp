@@ -102,6 +102,7 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.p50 = quantile(0.50);
     snap.p95 = quantile(0.95);
     snap.p99 = quantile(0.99);
+    snap.p999 = quantile(0.999);
     return snap;
 }
 

@@ -226,8 +226,13 @@ std::string ServeClient::read_line() {
 
 std::string ServeClient::request(const std::string& line) {
     FPM_CHECK(fd_ >= 0, "client is not connected");
+    const auto start = std::chrono::steady_clock::now();
     send_all(line + "\n");
-    return read_line();
+    std::string reply = read_line();
+    last_rtt_seconds_ = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    return reply;
 }
 
 void ServeClient::send_lines(const std::vector<std::string>& lines) {

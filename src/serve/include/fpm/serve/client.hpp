@@ -76,6 +76,18 @@ public:
     /// or a reply that does not arrive within ServeConfig::recv_timeout.
     std::string request(const std::string& line);
 
+    /// Wall-clock duration of the most recent completed request() round
+    /// trip, in seconds: a monotonic (steady_clock) start/stop taken
+    /// immediately around the send and the reply read, so it includes
+    /// kernel send/recv and server time but no client-side encode/decode.
+    /// 0.0 until the first round trip completes; updated by request()
+    /// and therefore by every typed helper built on it (call(),
+    /// partition(), ...).  The load generator (fpm::loadgen) reads this
+    /// instead of re-implementing timing around the socket.
+    [[nodiscard]] double last_rtt_seconds() const noexcept {
+        return last_rtt_seconds_;
+    }
+
     /// Pipelines a batch: writes every line back-to-back, then reads
     /// exactly lines.size() response lines (the server answers in
     /// request order).  Throws like request(); on failure the
@@ -132,6 +144,7 @@ private:
     std::string read_line();
 
     int fd_ = -1;
+    double last_rtt_seconds_ = 0.0;
     std::string host_;
     std::uint16_t port_ = 0;
     ServeConfig config_;

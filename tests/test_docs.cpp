@@ -1,18 +1,21 @@
-// Docs-consistency checks: the runbook, the protocol spec and the
-// adaptation guide are kept honest against the code they describe.
-// Every ServeConfig knob and every STATS field must be documented in
-// docs/operations.md, every protocol verb must appear in
-// docs/protocol.md, and every AdaptConfig knob in docs/adaptation.md.
-// The source tree's location is baked in via FPMPART_SOURCE_DIR at
-// configure time.
+// Docs-consistency checks: the runbook, the protocol spec, the
+// adaptation guide and the benchmarking guide are kept honest against
+// the code they describe.  Every ServeConfig knob and every STATS field
+// must be documented in docs/operations.md, every protocol verb must
+// appear in docs/protocol.md, every AdaptConfig knob in
+// docs/adaptation.md, and every fpmpart_bench flag plus every
+// BENCH_loadgen.json field in docs/benchmarking.md.  The source tree's
+// location is baked in via FPMPART_SOURCE_DIR at configure time.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "fpm/loadgen/report.hpp"
 #include "fpm/serve/error.hpp"
 #include "fpm/serve/protocol.hpp"
 #include "fpm/serve/request_engine.hpp"
@@ -73,6 +76,48 @@ std::vector<std::string> struct_fields(const std::string& source) {
         }
     }
     return fields;
+}
+
+/// Every distinct `"--flag"` string literal in a tool source — the
+/// flags the tool binds (plus the ones its error messages name, which
+/// are the same set).
+std::vector<std::string> flag_literals(const std::string& source) {
+    std::vector<std::string> flags;
+    for (auto pos = source.find("\"--"); pos != std::string::npos;
+         pos = source.find("\"--", pos + 1)) {
+        auto end = pos + 1;
+        while (end < source.size() &&
+               (std::isalnum(static_cast<unsigned char>(source[end])) ||
+                source[end] == '-')) {
+            ++end;
+        }
+        const std::string flag = source.substr(pos + 1, end - pos - 1);
+        if (flag.size() > 2 &&
+            std::find(flags.begin(), flags.end(), flag) == flags.end()) {
+            flags.push_back(flag);
+        }
+    }
+    return flags;
+}
+
+/// Every distinct `"key":` object key of a JSON document.
+std::vector<std::string> json_keys(const std::string& json) {
+    std::vector<std::string> keys;
+    std::size_t pos = 0;
+    while ((pos = json.find('"', pos)) != std::string::npos) {
+        const auto close = json.find('"', pos + 1);
+        if (close == std::string::npos) {
+            break;
+        }
+        if (close + 1 < json.size() && json[close + 1] == ':') {
+            const std::string key = json.substr(pos + 1, close - pos - 1);
+            if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+                keys.push_back(key);
+            }
+        }
+        pos = close + 1;
+    }
+    return keys;
 }
 
 TEST(DocsConsistency, OperationsRunbookCoversEveryServeConfigKnob) {
@@ -227,11 +272,55 @@ TEST(DocsConsistency, AdaptStatsFieldsAreDocumented) {
     }
 }
 
+TEST(DocsConsistency, BenchmarkingGuideCoversEveryBenchFlag) {
+    const std::string tool = read_file("tools/fpmpart_bench.cpp");
+    const std::string guide = read_file("docs/benchmarking.md");
+    const std::vector<std::string> flags = flag_literals(tool);
+    // Guard the extractor: fpmpart_bench binds > 20 flags.  If this
+    // trips, the heuristic (or the tool) regressed.
+    EXPECT_GE(flags.size(), 15u);
+    for (const std::string& flag : flags) {
+        EXPECT_NE(guide.find("`" + flag), std::string::npos)
+            << "fpmpart_bench flag '" << flag
+            << "' is not documented in docs/benchmarking.md";
+    }
+    // --trace is bound through FlagTable::trace(), so it never appears
+    // as a literal in the tool source; the guide must still list it.
+    EXPECT_NE(guide.find("`--trace"), std::string::npos);
+}
+
+TEST(DocsConsistency, BenchmarkingGuideCoversEveryReportField) {
+    // Render a default Report: to_json() always emits every field, so
+    // its keys are the full BENCH_loadgen.json surface.
+    const std::string guide = read_file("docs/benchmarking.md");
+    const std::vector<std::string> keys =
+        json_keys(fpm::loadgen::Report{}.to_json());
+    // Guard the extractor: the schema carries > 25 distinct keys
+    // (top level + latency digest + the four verb slices).
+    EXPECT_GE(keys.size(), 25u);
+    for (const std::string& key : keys) {
+        EXPECT_NE(guide.find("`" + key + "`"), std::string::npos)
+            << "BENCH_loadgen.json field '" << key
+            << "' is not documented in docs/benchmarking.md";
+    }
+    // The methodology the numbers depend on must be spelled out, and
+    // the gate workflow must be findable from the guide.
+    for (const char* token :
+         {"fpmpart-loadgen-v1", "coordinated omission",
+          "scheduled == sent + dropped", "ci/perf_gate.sh",
+          "bench/baselines/serve_smoke.json", "FPMPART_PERF_TOLERANCE",
+          "FPMPART_PERF_UPDATE"}) {
+        EXPECT_NE(guide.find(token), std::string::npos)
+            << "'" << token << "' is not documented in docs/benchmarking.md";
+    }
+}
+
 TEST(DocsConsistency, ReadmeLinksTheDocs) {
     const std::string readme = read_file("README.md");
     EXPECT_NE(readme.find("docs/protocol.md"), std::string::npos);
     EXPECT_NE(readme.find("docs/operations.md"), std::string::npos);
     EXPECT_NE(readme.find("docs/adaptation.md"), std::string::npos);
+    EXPECT_NE(readme.find("docs/benchmarking.md"), std::string::npos);
 }
 
 TEST(DocsConsistency, DesignDocDescribesTheCurrentArchitecture) {

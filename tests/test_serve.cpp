@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fpm/core/model_io.hpp"
+#include "fpm/fault/fault.hpp"
 #include "fpm/measure/timer.hpp"
 #include "fpm/obs/trace.hpp"
 #include "fpm/serve/client.hpp"
@@ -709,6 +710,35 @@ TEST(ServeIntegration, ExportsChromeTraceOfServedRequests) {
     EXPECT_NE(json.find("serve.compute"), std::string::npos);
     EXPECT_NE(json.find("part.fpm_partition"), std::string::npos);
     std::remove(trace_path.c_str());
+}
+
+TEST(ServeIntegration, ClientReportsRoundTripTime) {
+    ModelRegistry registry;
+    registry.put("hybrid", synthetic_models(2, 8, 1.0));
+    RequestEngine engine(registry, {.workers = 2, .cache_capacity = 16});
+    SocketServer server(engine);
+    server.start();
+
+    ServeClient client("127.0.0.1", server.port());
+    EXPECT_EQ(client.last_rtt_seconds(), 0.0);  // nothing measured yet
+
+    measure::WallTimer timer;
+    client.ping();
+    const double outer = timer.elapsed();
+    const double ping_rtt = client.last_rtt_seconds();
+    EXPECT_GT(ping_rtt, 0.0);
+    // The start/stop hug the socket round trip, so the outer timer —
+    // which also covers encode/decode — can only read larger.
+    EXPECT_LE(ping_rtt, outer);
+
+    // Server-side time is part of the measurement: a 30 ms delay
+    // injected into the compute path puts a hard floor under the RTT.
+    fault::install(fault::FaultPlan::parse("seed=1,serve.compute=1:delay:30"));
+    (void)client.partition({"hybrid", 48, Algorithm::kFpm, true});
+    fault::uninstall();
+    EXPECT_GE(client.last_rtt_seconds(), 0.030);
+
+    server.stop();
 }
 
 } // namespace

@@ -1,0 +1,303 @@
+// fpmpart_bench — drive a partition server with the fpm::loadgen
+// subsystem and emit a machine-readable BENCH_loadgen.json report.
+//
+// Two ways to target a server:
+//
+//   * spawn:  `--models NAME=FILE ...` starts an in-process reactor pool
+//     (same engine/server stack as fpmpart_serve, honouring --reactors/
+//     --threads/--cache/--cache-shards) on an ephemeral loopback port,
+//     benches it, and tears it down.  This is what the perf gate uses —
+//     one command, no orchestration.
+//   * attach: `--port P` (with optional `--host`) benches an already
+//     running server.  Unless `--sets` narrows the targets, the model
+//     sets are discovered with a MODELS query.
+//
+// The workload (verb mix, problem sizes, arrival process) is fully
+// seeded: two invocations with the same flags offer byte-identical
+// request streams, and the report embeds a stream fingerprint proving
+// it.  `--mode open` measures latency from each request's *scheduled*
+// arrival and counts queue-full arrivals as drops, so coordinated
+// omission shows up in the numbers instead of hiding in them — see
+// docs/benchmarking.md for the methodology and the full JSON schema.
+//
+// With `--baseline FILE` the run additionally compares itself against a
+// checked-in report (ci/perf_gate.sh wires this up): achieved rate may
+// not fall more than `--tolerance` below the baseline, latency
+// (mean/p50/p99) may not rise more than `--tolerance` above it, and
+// errors/drops may not appear where the baseline had none.  Exit code 3
+// means "measurably worse than baseline".
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fpm/loadgen/runner.hpp"
+#include "fpm/serve/client.hpp"
+#include "fpm/serve/server.hpp"
+#include "tool_args.hpp"
+
+namespace {
+
+using fpm::loadgen::Report;
+
+bool parse_mix(const std::string& text, fpm::loadgen::WorkloadSpec* spec) {
+    std::vector<double> weights;
+    std::stringstream stream(text);
+    std::string part;
+    while (std::getline(stream, part, ':')) {
+        try {
+            weights.push_back(fpmtool::parse_number(part, "--mix"));
+        } catch (const fpm::Error&) {
+            return false;
+        }
+    }
+    if (weights.size() != 4) {
+        return false;
+    }
+    spec->partition_weight = weights[0];
+    spec->stats_weight = weights[1];
+    spec->health_weight = weights[2];
+    spec->feedback_weight = weights[3];
+    return true;
+}
+
+/// One gate check; prints its own PASS/FAIL line.
+bool check(const char* what, bool ok, double fresh, double base) {
+    std::printf("  %s  %-28s fresh %.6g vs baseline %.6g\n",
+                ok ? "PASS" : "FAIL", what, fresh, base);
+    return ok;
+}
+
+/// Compares a fresh report against the baseline; returns the number of
+/// failed checks.  Rates may fall at most `tol` below the baseline,
+/// latencies rise at most `tol` above it (tol is a fraction, 0.25 = 25%).
+int compare_reports(const Report& fresh, const Report& base, double tol) {
+    const auto ratio = [](std::uint64_t part, std::uint64_t whole) {
+        return whole == 0 ? 0.0
+                          : static_cast<double>(part) /
+                                static_cast<double>(whole);
+    };
+    int failures = 0;
+    failures += !check("achieved_rps",
+                       fresh.achieved_rps >= base.achieved_rps * (1.0 - tol),
+                       fresh.achieved_rps, base.achieved_rps);
+    failures += !check("latency.mean_us",
+                       fresh.latency.mean_us <=
+                           base.latency.mean_us * (1.0 + tol),
+                       fresh.latency.mean_us, base.latency.mean_us);
+    failures += !check("latency.p50_us",
+                       fresh.latency.p50_us <=
+                           base.latency.p50_us * (1.0 + tol),
+                       fresh.latency.p50_us, base.latency.p50_us);
+    failures += !check("latency.p99_us",
+                       fresh.latency.p99_us <=
+                           base.latency.p99_us * (1.0 + tol),
+                       fresh.latency.p99_us, base.latency.p99_us);
+    failures += !check("error_ratio",
+                       ratio(fresh.errors, fresh.sent) <=
+                           ratio(base.errors, base.sent) + tol,
+                       ratio(fresh.errors, fresh.sent),
+                       ratio(base.errors, base.sent));
+    failures += !check("drop_ratio",
+                       ratio(fresh.dropped, fresh.scheduled) <=
+                           ratio(base.dropped, base.scheduled) + tol,
+                       ratio(fresh.dropped, fresh.scheduled),
+                       ratio(base.dropped, base.scheduled));
+    return failures;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    FPM_CHECK(in.good(), "cannot read " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace fpm;
+    try {
+        std::vector<std::string> model_specs;
+        std::vector<std::string> sets;
+        std::string host = "127.0.0.1";
+        std::string mode = "closed";
+        std::string arrival = "poisson";
+        std::string mix = "1:0:0:0";
+        std::string algorithm = "fpm";
+        std::string out_path = "BENCH_loadgen.json";
+        std::string baseline_path;
+        double tolerance = 0.5;
+        loadgen::WorkloadSpec spec;
+        loadgen::LoadConfig load;
+        serve::ServeConfig server_config;
+        serve::RequestEngine::Options engine_options;
+
+        fpmtool::FlagTable flags("fpmpart_bench");
+        flags.bind_list("--models", "NAME=FILE", &model_specs)
+            .bind("--host", "ADDR", &host)
+            .bind("--port", "P", &server_config.port, 0, 65535)
+            .bind_list("--sets", "NAME", &sets)
+            .bind("--mode", "closed|open", &mode)
+            .bind("--arrival", "poisson|uniform", &arrival)
+            .bind("--rps", "X", &load.target_rps, 0.001)
+            .bind("--duration", "SECONDS", &load.duration_seconds, 0.0)
+            .bind("--requests", "N", &load.requests, 0)
+            .bind("--connections", "N", &load.connections, 1, 4096)
+            .bind("--think", "SECONDS", &load.think_time_seconds, 0.0)
+            .bind("--outstanding", "N", &load.max_outstanding, 1)
+            .bind("--seed", "N", &spec.seed, 1)
+            .bind("--mix", "P:S:H:F", &mix)
+            .bind("--n-min", "N", &spec.n_min, 1)
+            .bind("--n-max", "N", &spec.n_max, 1)
+            .bind("--algo", "fpm|cpm|even", &algorithm)
+            .bind("--layout", "on|off", &spec.with_layout)
+            .bind("--reactors", "N", &server_config.num_reactors, 1, 1024)
+            .bind("--threads", "N", &engine_options.workers, 1, 4096)
+            .bind("--cache", "N", &engine_options.cache_capacity, 1)
+            .bind("--cache-shards", "N", &engine_options.cache_shards, 1, 4096)
+            .bind("--out", "FILE", &out_path)
+            .bind("--baseline", "FILE", &baseline_path)
+            .bind("--tolerance", "X", &tolerance, 0.0)
+            .trace();
+        if (!flags.parse(argc, argv)) {
+            return 2;
+        }
+
+        if (mode != "closed" && mode != "open") {
+            std::fprintf(stderr, "error: --mode expects closed|open\n%s",
+                         flags.usage().c_str());
+            return 2;
+        }
+        load.mode = mode == "open" ? loadgen::Mode::kOpen
+                                   : loadgen::Mode::kClosed;
+        if (arrival != "poisson" && arrival != "uniform") {
+            std::fprintf(stderr, "error: --arrival expects poisson|uniform\n%s",
+                         flags.usage().c_str());
+            return 2;
+        }
+        load.arrival = arrival == "poisson" ? loadgen::Arrival::kPoisson
+                                            : loadgen::Arrival::kUniform;
+        if (!parse_mix(mix, &spec)) {
+            std::fprintf(stderr,
+                         "error: --mix expects four ':'-separated weights "
+                         "(PARTITION:STATS:HEALTH:FEEDBACK), got '%s'\n%s",
+                         mix.c_str(), flags.usage().c_str());
+            return 2;
+        }
+        const auto algo = part::parse_algorithm(algorithm);
+        if (!algo) {
+            std::fprintf(stderr, "error: --algo expects fpm|cpm|even\n%s",
+                         flags.usage().c_str());
+            return 2;
+        }
+        spec.algorithm = *algo;
+        if (model_specs.empty() && server_config.port == 0) {
+            std::fprintf(stderr,
+                         "error: nothing to bench — give --models to spawn "
+                         "a server or --port to attach to one\n%s",
+                         flags.usage().c_str());
+            return 2;
+        }
+
+        // Spawn mode: the same registry -> engine -> reactor-pool stack
+        // fpmpart_serve runs, on an ephemeral loopback port.
+        serve::ModelRegistry registry;
+        std::unique_ptr<serve::RequestEngine> engine;
+        std::unique_ptr<serve::SocketServer> server;
+        if (!model_specs.empty()) {
+            for (const auto& model_spec : model_specs) {
+                const auto eq = model_spec.find('=');
+                if (eq == std::string::npos || eq == 0 ||
+                    eq + 1 == model_spec.size()) {
+                    std::fprintf(stderr,
+                                 "--models expects NAME=FILE, got '%s'\n%s",
+                                 model_spec.c_str(), flags.usage().c_str());
+                    return 2;
+                }
+                const std::string name = model_spec.substr(0, eq);
+                registry.load_csv(name, model_spec.substr(eq + 1));
+                if (sets.empty() || !flags.seen("--sets")) {
+                    sets.push_back(name);
+                }
+            }
+            engine = std::make_unique<serve::RequestEngine>(registry,
+                                                            engine_options);
+            server = std::make_unique<serve::SocketServer>(*engine,
+                                                           server_config);
+            server->start();
+            load.host = "127.0.0.1";
+            load.port = server->port();
+            std::printf("spawned server on 127.0.0.1:%u (%zu reactor(s), "
+                        "%u worker(s))\n",
+                        load.port, server->num_reactors(),
+                        engine_options.workers);
+        } else {
+            load.host = host;
+            load.port = static_cast<std::uint16_t>(server_config.port);
+            if (sets.empty()) {
+                // Discover the target's model sets instead of guessing.
+                serve::ServeClient probe(load.host, load.port);
+                serve::Request models;
+                models.kind = serve::Request::Kind::kModels;
+                for (const auto& info : probe.call(models).sets) {
+                    sets.push_back(info.name);
+                }
+            }
+            std::printf("attached to %s:%u\n", load.host.c_str(), load.port);
+        }
+        spec.model_sets = sets;
+
+        const Report report = loadgen::run(spec, load);
+        if (server) {
+            server->stop();
+        }
+
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        FPM_CHECK(out.good(), "cannot write " + out_path);
+        out << report.to_json();
+        out.close();
+
+        std::printf(
+            "%s loop (%s): %llu scheduled = %llu sent + %llu dropped; "
+            "%llu completed (%llu error(s), %llu degraded) in %.3fs\n",
+            report.mode.c_str(),
+            report.arrival.empty() ? "n/a" : report.arrival.c_str(),
+            static_cast<unsigned long long>(report.scheduled),
+            static_cast<unsigned long long>(report.sent),
+            static_cast<unsigned long long>(report.dropped),
+            static_cast<unsigned long long>(report.completed),
+            static_cast<unsigned long long>(report.errors),
+            static_cast<unsigned long long>(report.degraded),
+            report.duration_seconds);
+        std::printf("achieved %.1f req/s; latency us: p50 %.1f  p95 %.1f  "
+                    "p99 %.1f  p99.9 %.1f  max %.1f\n",
+                    report.achieved_rps, report.latency.p50_us,
+                    report.latency.p95_us, report.latency.p99_us,
+                    report.latency.p999_us, report.latency.max_us);
+        std::printf("stream fingerprint %016llx; report written to %s\n",
+                    static_cast<unsigned long long>(report.stream_fingerprint),
+                    out_path.c_str());
+
+        if (!baseline_path.empty()) {
+            const Report base = Report::from_json(read_file(baseline_path));
+            std::printf("gate: comparing against %s (tolerance %.3g)\n",
+                        baseline_path.c_str(), tolerance);
+            const int failures = compare_reports(report, base, tolerance);
+            if (failures > 0) {
+                std::printf("gate: FAIL — %d check(s) regressed beyond "
+                            "tolerance\n",
+                            failures);
+                return 3;
+            }
+            std::printf("gate: PASS\n");
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
