@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer job for the serving stack: configures (once) and
-# builds the TSan tree, then runs every test labelled `serve` or
-# `store` — the reactor-pool, protocol, fault-injection, adaptation and
-# durable-store suites — under TSan.  This is the exact command
-# documented in docs/operations.md; keep the two in sync.
+# builds the TSan tree, then runs every test labelled `serve`, `store`
+# or `repl` — the reactor-pool, protocol, fault-injection, adaptation,
+# durable-store and replication suites — under TSan.  This is the
+# exact command documented in docs/operations.md; keep the two in
+# sync.
 #
 # Usage: ci/tsan_serve.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -21,4 +22,4 @@ fi
 
 cmake --build "$build" -j "$jobs"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir "$build" -L "serve|store" --output-on-failure -j 1
+  ctest --test-dir "$build" -L "serve|store|repl" --output-on-failure -j 1

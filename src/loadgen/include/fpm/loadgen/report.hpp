@@ -76,6 +76,10 @@ struct Report {
     std::uint64_t errors = 0;
     std::uint64_t degraded = 0;
     std::uint64_t dropped = 0;  ///< bounded-queue refusals (open loop)
+    /// Client endpoint advances on typed transport errors — nonzero
+    /// only when the run drove a failover endpoint list and at least
+    /// one endpoint died or refused mid-run.
+    std::uint64_t failovers = 0;
 
     /// stream_fingerprint() over the first `scheduled` (open) or `sent`
     /// (closed) requests: equal fingerprints == byte-identical streams.

@@ -32,8 +32,11 @@
 #include <functional>
 #include <string>
 
+#include <vector>
+
 #include "fpm/loadgen/report.hpp"
 #include "fpm/loadgen/workload.hpp"
+#include "fpm/serve/client.hpp"
 #include "fpm/serve/serve_config.hpp"
 
 namespace fpm::loadgen {
@@ -50,6 +53,12 @@ struct LoadConfig {
     // -- target -------------------------------------------------------
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
+    /// Failover target list: when non-empty it overrides host/port and
+    /// every client walks it on typed transport errors (ServeClient's
+    /// endpoint-list form), so a primary dying mid-run shifts traffic to
+    /// its replica instead of turning into a wall of errors.  Each
+    /// advance is counted in Report::failovers.
+    std::vector<serve::Endpoint> endpoints;
     /// Client-side timeouts/retry policy (retries stay off by default:
     /// the generator wants to *see* failures, not paper over them).
     serve::ServeConfig serve;

@@ -249,6 +249,7 @@ std::string Report::to_json() const {
     out += "  \"errors\": " + number(errors) + ",\n";
     out += "  \"degraded\": " + number(degraded) + ",\n";
     out += "  \"dropped\": " + number(dropped) + ",\n";
+    out += "  \"failovers\": " + number(failovers) + ",\n";
     out += "  \"stream_fingerprint\": \"" + hex64(stream_fingerprint) +
            "\",\n";
     out += "  \"latency\": " + latency_json(latency) + ",\n";
@@ -292,6 +293,7 @@ Report Report::from_json(const std::string& text) {
     report.errors = get_u64(root, "errors");
     report.degraded = get_u64(root, "degraded");
     report.dropped = get_u64(root, "dropped");
+    report.failovers = get_u64(root, "failovers");
     report.stream_fingerprint = get_hex64(root, "stream_fingerprint");
     report.latency = latency_from(member(root, "latency"));
 

@@ -40,16 +40,35 @@ struct Shared {
     Tally total;
     std::array<Tally, kVerbCount> by_verb;
     std::mutex observer_mutex;
+    /// Endpoint advances harvested from retired and finished clients.
+    std::atomic<std::uint64_t> failovers{0};
 };
+
+/// The effective failover list: LoadConfig::endpoints, or host/port.
+std::vector<serve::Endpoint> endpoints_of(const LoadConfig& cfg) {
+    if (!cfg.endpoints.empty()) {
+        return cfg.endpoints;
+    }
+    return {serve::Endpoint{cfg.host, cfg.port}};
+}
 
 /// Reconnect attempt that reports failure as nullptr, for mid-run
 /// recovery (the *initial* connections throw instead, see run()).
 std::unique_ptr<serve::ServeClient> try_connect(const LoadConfig& cfg) {
     try {
-        return std::make_unique<serve::ServeClient>(cfg.host, cfg.port,
+        return std::make_unique<serve::ServeClient>(endpoints_of(cfg),
                                                     cfg.serve);
     } catch (const Error&) {
         return nullptr;
+    }
+}
+
+/// Banks a client's failover count before it is dropped or finishes.
+void harvest_failovers(Shared& s,
+                       const std::unique_ptr<serve::ServeClient>& client) {
+    if (client) {
+        s.failovers.fetch_add(client->failovers(),
+                              std::memory_order_relaxed);
     }
 }
 
@@ -73,6 +92,7 @@ void issue(Shared& s, std::unique_ptr<serve::ServeClient>& client,
         try {
             reply = client->request(request.encode());
         } catch (const Error&) {
+            harvest_failovers(s, client);
             client.reset();
         }
     }
@@ -150,7 +170,7 @@ Report run(const WorkloadSpec& spec, const LoadConfig& cfg) {
     clients.reserve(cfg.connections);
     for (std::size_t c = 0; c < cfg.connections; ++c) {
         clients.push_back(std::make_unique<serve::ServeClient>(
-            cfg.host, cfg.port, cfg.serve));
+            endpoints_of(cfg), cfg.serve));
     }
 
     std::vector<double> schedule;
@@ -183,6 +203,7 @@ Report run(const WorkloadSpec& spec, const LoadConfig& cfg) {
                             to_duration(cfg.think_time_seconds));
                     }
                 }
+                harvest_failovers(shared, client);
             });
         }
         for (std::thread& worker : workers) {
@@ -212,13 +233,14 @@ Report run(const WorkloadSpec& spec, const LoadConfig& cfg) {
                         ready.wait(lock,
                                    [&] { return closed || !queue.empty(); });
                         if (queue.empty()) {
-                            return;  // closed and drained
+                            break;  // closed and drained
                         }
                         item = queue.front();
                         queue.pop_front();
                     }
                     issue(shared, client, item.index, &item.due);
                 }
+                harvest_failovers(shared, client);
             });
         }
 
@@ -269,6 +291,7 @@ Report run(const WorkloadSpec& spec, const LoadConfig& cfg) {
     report.errors = shared.total.errors.load();
     report.degraded = shared.total.degraded.load();
     report.dropped = dropped.load();
+    report.failovers = shared.failovers.load(std::memory_order_relaxed);
     // Closed loop offers exactly what it sends; open loop offers the
     // whole schedule.  Either way scheduled == sent + dropped.
     report.scheduled = cfg.mode == Mode::kOpen ? scheduled : report.sent;

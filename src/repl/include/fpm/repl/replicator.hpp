@@ -1,0 +1,139 @@
+/// \file replicator.hpp
+/// \brief Replica-side replication client: connect, catch up, tail.
+///
+/// The Replicator owns one background thread that keeps a replica's
+/// registry converged with its primary: it connects to the primary's
+/// replication port, sends `REPL HELLO <pos>` with the last position
+/// the stream handed it (0:0 on a fresh start — positions are primary
+/// WAL coordinates and are not persisted locally), applies whatever the
+/// primary answers (a full snapshot transfer or a resumed stream) and
+/// then tails FRAME/PING records until stopped or disconnected.
+///
+/// Applying a record goes through the same machinery a primary publish
+/// does, so everything downstream behaves identically on both roles:
+///
+///  * when the record's generation is exactly the registry's next one
+///    (the steady-state streaming case — frames arrive in generation
+///    order), ModelRegistry::put() installs it, reproducing the
+///    primary's generation bit-for-bit and firing the local store's
+///    write-ahead observer, so the replica's own WAL logs the record;
+///  * otherwise (snapshot records carry non-contiguous generations;
+///    overlap after a reconnect) ModelRegistry::restore() installs the
+///    explicit generation and the record is appended to the local store
+///    directly;
+///  * either way the engine's plan cache is invalidated under the old
+///    fingerprint, exactly as ModelPublisher does on the primary —
+///    cached plans for the superseded generation can never be served;
+///  * records at or below the last applied generation are dropped
+///    (reconnect overlap is idempotent).
+///
+/// After every applied record the installed generation and fingerprint
+/// are checked against the ones the primary recorded; a mismatch (or an
+/// armed `repl.apply` fault) severs the connection, and the bounded
+/// exponential backoff (ServeConfig::backoff_base/backoff_max — the
+/// same knobs the serve client retries with) paces the reconnect.  The
+/// connection attempt itself uses ServeConfig::connect_timeout and
+/// recv_timeout; a primary that stays silent past recv_timeout (it
+/// heartbeats every heartbeat_interval when idle) counts as dead.
+///
+/// Observability: the serve layer's ReplStatus letterbox (role, source,
+/// lag, applied generation — surfaced in STATS/HEALTH) plus repl.*
+/// counters/gauges/histograms (docs/operations.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fpm/repl/replication_log.hpp"
+#include "fpm/serve/client.hpp"
+#include "fpm/serve/request_engine.hpp"
+#include "fpm/store/model_store.hpp"
+
+namespace fpm::repl {
+
+/// Replica-side knobs.
+struct ReplicatorConfig {
+    serve::Endpoint source;      ///< the primary's replication endpoint
+    /// Transport + backoff knobs: connect_timeout, recv_timeout,
+    /// backoff_base, backoff_max are consumed; the rest is ignored.
+    serve::ServeConfig transport;
+};
+
+/// See file comment.
+class Replicator {
+public:
+    /// `engine` is the replica's serving engine (its registry receives
+    /// the replicated sets); `local_store` may be null (no replica-side
+    /// durability) and, when set, must already be attach()ed to the
+    /// engine's registry so the put() path logs through the observer.
+    /// Both must outlive the replicator.  start() begins replication.
+    Replicator(serve::RequestEngine& engine, store::ModelStore* local_store,
+               ReplicatorConfig config);
+
+    /// stop()s.
+    ~Replicator();
+
+    Replicator(const Replicator&) = delete;
+    Replicator& operator=(const Replicator&) = delete;
+
+    /// Spawns the replication thread (idempotent).
+    void start();
+
+    /// Severs the connection, stops reconnecting and joins the thread.
+    /// Idempotent.
+    void stop();
+
+    /// Highest generation applied locally.
+    [[nodiscard]] std::uint64_t applied_generation() const noexcept {
+        return applied_generation_.load(std::memory_order_relaxed);
+    }
+    /// FRAME records applied (snapshot records included).
+    [[nodiscard]] std::uint64_t frames_applied() const noexcept {
+        return frames_applied_.load(std::memory_order_relaxed);
+    }
+    /// Reconnect attempts after a connect/stream/apply failure.
+    [[nodiscard]] std::uint64_t reconnects() const noexcept {
+        return reconnects_.load(std::memory_order_relaxed);
+    }
+    /// Full snapshot transfers received.
+    [[nodiscard]] std::uint64_t snapshots_received() const noexcept {
+        return snapshots_received_.load(std::memory_order_relaxed);
+    }
+    /// True while a stream is established (handshake done, not torn).
+    [[nodiscard]] bool connected() const noexcept {
+        return connected_.load(std::memory_order_relaxed);
+    }
+
+private:
+    class Conn;
+
+    void run();
+    void run_once();
+    void apply_frame(const std::string& frame, const std::string& origin);
+    void apply_record(const store::PublishRecord& record);
+    void backoff(int consecutive_failures);
+
+    serve::RequestEngine& engine_;
+    store::ModelStore* local_store_;
+    const ReplicatorConfig config_;
+
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<int> fd_{-1};  ///< live socket, for stop() to sever
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+
+    ReplPosition position_;  ///< replication-thread only
+    std::atomic<std::uint64_t> applied_generation_{0};
+    std::atomic<std::uint64_t> frames_applied_{0};
+    std::atomic<std::uint64_t> reconnects_{0};
+    std::atomic<std::uint64_t> snapshots_received_{0};
+    std::atomic<bool> connected_{false};
+    bool started_ = false;
+};
+
+} // namespace fpm::repl

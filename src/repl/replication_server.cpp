@@ -1,0 +1,337 @@
+#include "fpm/repl/replication_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "fpm/common/error.hpp"
+#include "fpm/fault/fault.hpp"
+#include "fpm/obs/metrics.hpp"
+#include "fpm/store/wal.hpp"
+
+namespace fpm::repl {
+
+namespace {
+
+/// Process-global replication-server counters.
+struct ServerMetrics {
+    obs::Counter& frames_sent;
+    obs::Counter& snapshots_sent;
+    obs::Counter& heartbeats_sent;
+    obs::Gauge& sessions;
+
+    static const ServerMetrics& get() {
+        static auto& registry = obs::MetricsRegistry::global();
+        static const ServerMetrics metrics{
+            registry.counter("repl.frames_sent"),
+            registry.counter("repl.snapshots_sent"),
+            registry.counter("repl.heartbeats_sent"),
+            registry.gauge("repl.sessions")};
+        return metrics;
+    }
+};
+
+timeval to_timeval(double seconds) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec =
+        static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+    return tv;
+}
+
+/// Thrown (privately) when the follower socket fails: the session ends.
+struct SessionTorn {};
+
+void send_all(int fd, const char* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            throw SessionTorn{};
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void send_all(int fd, const std::string& data) {
+    send_all(fd, data.data(), data.size());
+}
+
+/// Reads one '\n'-terminated line (CR stripped); empty read = torn.
+std::string read_line(int fd) {
+    std::string line;
+    char byte;
+    for (;;) {
+        const ssize_t n = ::recv(fd, &byte, 1, 0);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            throw SessionTorn{};
+        }
+        if (byte == '\n') {
+            if (!line.empty() && line.back() == '\r') {
+                line.pop_back();
+            }
+            return line;
+        }
+        line.push_back(byte);
+        if (line.size() > 4096) {
+            throw SessionTorn{};  // no REPL line is remotely this long
+        }
+    }
+}
+
+} // namespace
+
+ReplicationServer::ReplicationServer(ReplicationLog& log,
+                                     ReplServerConfig config)
+    : log_(log), config_(std::move(config)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    FPM_CHECK(listen_fd_ >= 0,
+              std::string("socket(): ") + std::strerror(errno));
+    try {
+        const int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(config_.port);
+        FPM_CHECK(::inet_pton(AF_INET, config_.bind_address.c_str(),
+                              &addr.sin_addr) == 1,
+                  "invalid bind address: " + config_.bind_address);
+        FPM_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof addr) == 0,
+                  "bind(" + config_.bind_address + ":" +
+                      std::to_string(config_.port) +
+                      "): " + std::strerror(errno));
+        FPM_CHECK(::listen(listen_fd_, config_.backlog) == 0,
+                  std::string("listen(): ") + std::strerror(errno));
+
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        FPM_CHECK(::getsockname(listen_fd_,
+                                reinterpret_cast<sockaddr*>(&bound),
+                                &len) == 0,
+                  std::string("getsockname(): ") + std::strerror(errno));
+        port_ = ntohs(bound.sin_port);
+    } catch (...) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw;
+    }
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+ReplicationServer::~ReplicationServer() { stop(); }
+
+std::size_t ReplicationServer::sessions() const {
+    std::lock_guard lock(sessions_mutex_);
+    std::size_t live = 0;
+    for (const auto& session : sessions_) {
+        if (!session->done.load(std::memory_order_acquire)) {
+            ++live;
+        }
+    }
+    return live;
+}
+
+void ReplicationServer::stop() {
+    if (stopped_.exchange(true)) {
+        return;
+    }
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    std::vector<std::unique_ptr<Session>> sessions;
+    {
+        std::lock_guard lock(sessions_mutex_);
+        sessions.swap(sessions_);
+    }
+    for (auto& session : sessions) {
+        // The session thread never closes the fd itself (a concurrent
+        // close would race fd reuse); shutdown() wakes it, join() makes
+        // the close safe.
+        const int fd = session->fd.load(std::memory_order_acquire);
+        if (fd >= 0) {
+            ::shutdown(fd, SHUT_RDWR);
+        }
+        if (session->thread.joinable()) {
+            session->thread.join();
+        }
+        if (fd >= 0) {
+            ::close(fd);
+        }
+    }
+}
+
+void ReplicationServer::reap_finished_locked() {
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+            if ((*it)->thread.joinable()) {
+                (*it)->thread.join();
+            }
+            const int fd = (*it)->fd.load(std::memory_order_acquire);
+            if (fd >= 0) {
+                ::close(fd);
+            }
+            it = sessions_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void ReplicationServer::accept_loop() {
+    while (!stopped_.load(std::memory_order_relaxed)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0 && errno == EINTR) {
+            continue;
+        }
+        if (stopped_.load(std::memory_order_relaxed)) {
+            return;
+        }
+        if (ready <= 0) {
+            continue;
+        }
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            continue;  // racing stop(), or a transient accept failure
+        }
+
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (config_.io_timeout > 0.0) {
+            const timeval tv = to_timeval(config_.io_timeout);
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        }
+
+        std::lock_guard lock(sessions_mutex_);
+        reap_finished_locked();
+        auto session = std::make_unique<Session>();
+        Session& ref = *session;
+        ref.fd.store(fd, std::memory_order_release);
+        sessions_.push_back(std::move(session));
+        ref.thread = std::thread([this, &ref] { run_session(ref); });
+    }
+}
+
+void ReplicationServer::run_session(Session& session) {
+    const int fd = session.fd.load(std::memory_order_acquire);
+    ServerMetrics::get().sessions.add(1);
+    try {
+        // -- handshake ------------------------------------------------
+        const std::string hello = read_line(fd);
+        static auto& handshake_fault = fault::point("repl.handshake");
+        if (handshake_fault.fire()) {
+            throw SessionTorn{};  // primary "crashes" before answering
+        }
+        static const std::string kHello = "REPL HELLO ";
+        if (hello.rfind(kHello, 0) != 0) {
+            send_all(fd, "ERR internal malformed REPL handshake\n");
+            throw SessionTorn{};
+        }
+        ReplPosition pos;
+        try {
+            pos = ReplPosition::parse(hello.substr(kHello.size()));
+        } catch (const Error&) {
+            send_all(fd, "ERR internal malformed REPL position\n");
+            throw SessionTorn{};
+        }
+
+        store::ModelStore& store = log_.store();
+        if (!log_.position_available(pos)) {
+            // Fresh follower (0:0) or one standing in a GC'd segment:
+            // ship the full compacted state, then stream from the
+            // position the snapshot was taken at.
+            const store::ReplSnapshot snap = store.replication_snapshot();
+            pos = ReplPosition{snap.segment, snap.offset};
+            std::string header = "OK REPL SNAP sets=";
+            header += std::to_string(snap.payloads.size());
+            header += " next=";
+            header += std::to_string(snap.next_generation);
+            header += " pos=";
+            header += pos.to_string();
+            header += '\n';
+            send_all(fd, header);
+            for (const std::string& payload : snap.payloads) {
+                const std::string frame = store::encode_frame(payload);
+                send_all(fd, "REPL SNAP bytes=" +
+                                 std::to_string(frame.size()) + "\n");
+                send_all(fd, frame);
+            }
+            snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+            ServerMetrics::get().snapshots_sent.add(1);
+        } else {
+            send_all(fd, "OK REPL STREAM pos=" + pos.to_string() + "\n");
+        }
+
+        // -- push stream ----------------------------------------------
+        static auto& send_fault = fault::point("repl.send");
+        std::string payload;
+        while (!stopped_.load(std::memory_order_relaxed)) {
+            switch (log_.next(pos, payload, config_.heartbeat_interval)) {
+            case ReplicationLog::Next::kFrame: {
+                if (send_fault.fire()) {
+                    throw SessionTorn{};  // "crash" mid-ship
+                }
+                const std::string frame = store::encode_frame(payload);
+                send_all(fd, "REPL FRAME bytes=" +
+                                 std::to_string(frame.size()) +
+                                 " pos=" + pos.to_string() + "\n");
+                send_all(fd, frame);
+                frames_sent_.fetch_add(1, std::memory_order_relaxed);
+                ServerMetrics::get().frames_sent.add(1);
+                break;
+            }
+            case ReplicationLog::Next::kTimeout:
+                send_all(fd, "REPL PING committed=" +
+                                 std::to_string(
+                                     store.committed_generation()) +
+                                 " pos=" + pos.to_string() + "\n");
+                ServerMetrics::get().heartbeats_sent.add(1);
+                break;
+            case ReplicationLog::Next::kGap:
+                // The position fell behind a GC: sever so the follower
+                // reconnects and handshakes into the snapshot path.
+                throw SessionTorn{};
+            case ReplicationLog::Next::kStopped:
+                throw SessionTorn{};
+            }
+        }
+    } catch (const SessionTorn&) {
+        // expected session end
+    } catch (...) {
+        // any other failure also just ends the session
+    }
+    // shutdown() tells the peer now (it must not wait out a recv
+    // timeout to notice); the fd itself stays open until reap/stop
+    // joins this thread and closes it, so no close races fd reuse.
+    ::shutdown(fd, SHUT_RDWR);
+    ServerMetrics::get().sessions.add(-1);
+    session.done.store(true, std::memory_order_release);
+}
+
+} // namespace fpm::repl

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -27,12 +28,14 @@ namespace {
 struct ClientMetrics {
     obs::Counter& retries;
     obs::Counter& reconnects;
+    obs::Counter& failovers;
 
     static const ClientMetrics& get() {
         static auto& registry = obs::MetricsRegistry::global();
         static const ClientMetrics metrics{
             registry.counter("serve.client.retries"),
-            registry.counter("serve.client.reconnects")};
+            registry.counter("serve.client.reconnects"),
+            registry.counter("serve.client.failovers")};
         return metrics;
     }
 };
@@ -102,49 +105,119 @@ void connect_with_timeout(int fd, const sockaddr_in& addr, double timeout) {
 
 } // namespace
 
+std::vector<Endpoint> parse_endpoint_list(const std::string& text,
+                                          const std::string& default_host) {
+    std::vector<Endpoint> endpoints;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string entry =
+            text.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        FPM_CHECK(!entry.empty(), "empty endpoint in list: " + text);
+        Endpoint endpoint;
+        const std::size_t colon = entry.rfind(':');
+        std::string port_text;
+        if (colon == std::string::npos) {
+            endpoint.host = default_host;
+            port_text = entry;
+        } else {
+            endpoint.host = entry.substr(0, colon);
+            port_text = entry.substr(colon + 1);
+            FPM_CHECK(!endpoint.host.empty(),
+                      "empty host in endpoint: " + entry);
+        }
+        errno = 0;
+        char* end = nullptr;
+        const long port = std::strtol(port_text.c_str(), &end, 10);
+        FPM_CHECK(end != port_text.c_str() && *end == '\0' && errno == 0 &&
+                      port > 0 && port <= 65535,
+                  "malformed port in endpoint: " + entry);
+        endpoint.port = static_cast<std::uint16_t>(port);
+        endpoints.push_back(std::move(endpoint));
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    FPM_CHECK(!endpoints.empty(), "empty endpoint list");
+    return endpoints;
+}
+
 ServeClient::ServeClient(const std::string& host, std::uint16_t port,
                          const ServeConfig& config)
-    : host_(host), port_(port), config_(config) {
-    open_connection();
-}
+    : ServeClient(std::vector<Endpoint>{Endpoint{host, port}}, config) {}
 
 ServeClient::ServeClient(const std::string& host, std::uint16_t port)
     : ServeClient(host, port, ServeConfig{}) {}
 
+ServeClient::ServeClient(std::vector<Endpoint> endpoints,
+                         const ServeConfig& config)
+    : endpoints_(std::move(endpoints)), config_(config) {
+    FPM_CHECK(!endpoints_.empty(), "endpoint list is empty");
+    open_connection();
+}
+
 ServeClient::~ServeClient() { close_fd(); }
 
+void ServeClient::advance_endpoint() {
+    if (endpoints_.size() < 2) {
+        return;
+    }
+    active_ = (active_ + 1) % endpoints_.size();
+    ++failovers_;
+    ClientMetrics::get().failovers.add();
+}
+
 void ServeClient::open_connection() {
-    // CLOEXEC so tools that fork (e.g. to spawn a pager) cannot leak
-    // the connection into the child.
-    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    FPM_CHECK(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
-    buffer_.clear();
-
-    try {
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_port = htons(port_);
-        FPM_CHECK(::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) == 1,
-                  "invalid server address: " + host_);
+    // With a failover list every endpoint gets one attempt, starting at
+    // the active one; a connect failure advances to the next.  The last
+    // failure propagates when the whole list is down.
+    for (std::size_t attempt = 0;; ++attempt) {
         try {
-            connect_with_timeout(fd_, addr, config_.connect_timeout);
-        } catch (const TransportError& e) {
-            throw TransportError(e.kind(), std::string(e.what()) + " [" +
-                                               host_ + ":" +
-                                               std::to_string(port_) + "]");
-        }
+            const Endpoint& target = endpoints_[active_];
+            // CLOEXEC so tools that fork (e.g. to spawn a pager) cannot
+            // leak the connection into the child.
+            fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            FPM_CHECK(fd_ >= 0,
+                      std::string("socket(): ") + std::strerror(errno));
+            buffer_.clear();
 
-        const int one = 1;
-        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        if (config_.recv_timeout > 0.0) {
-            const timeval tv = to_timeval(config_.recv_timeout);
-            ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-            ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+            try {
+                sockaddr_in addr{};
+                addr.sin_family = AF_INET;
+                addr.sin_port = htons(target.port);
+                FPM_CHECK(::inet_pton(AF_INET, target.host.c_str(),
+                                      &addr.sin_addr) == 1,
+                          "invalid server address: " + target.host);
+                try {
+                    connect_with_timeout(fd_, addr, config_.connect_timeout);
+                } catch (const TransportError& e) {
+                    throw TransportError(e.kind(), std::string(e.what()) +
+                                                       " [" +
+                                                       target.to_string() +
+                                                       "]");
+                }
+
+                const int one = 1;
+                ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+                if (config_.recv_timeout > 0.0) {
+                    const timeval tv = to_timeval(config_.recv_timeout);
+                    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+                    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+                }
+            } catch (...) {
+                ::close(fd_);
+                fd_ = -1;
+                throw;
+            }
+            return;
+        } catch (const TransportError&) {
+            if (attempt + 1 >= endpoints_.size()) {
+                throw;
+            }
+            advance_endpoint();
         }
-    } catch (...) {
-        ::close(fd_);
-        fd_ = -1;
-        throw;
     }
 }
 
@@ -307,10 +380,14 @@ Response ServeClient::call(const Request& req) {
         } catch (const TransportError&) {
             // The connection is in an unknown state (a late reply would
             // desynchronise the stream): always drop it before deciding.
+            // With a failover list, the next attempt starts against the
+            // next endpoint — the active one just proved unreachable or
+            // unresponsive.
             close_fd();
             if (attempt >= config_.max_retries) {
                 throw;
             }
+            advance_endpoint();
             ++attempt;
             ClientMetrics::get().retries.add();
             backoff(attempt);

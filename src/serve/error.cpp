@@ -7,9 +7,10 @@ namespace fpm::serve {
 namespace {
 
 /// Indexed by static_cast<std::size_t>(ErrorCode).
-constexpr std::array<std::string_view, 6> kTokens = {
-    "internal",         "busy",        "unsupported_verb",
+constexpr std::array<std::string_view, 7> kTokens = {
+    "internal",          "busy",        "unsupported_verb",
     "feedback_disabled", "bad_request", "store_unavailable",
+    "read_only",
 };
 
 } // namespace

@@ -57,6 +57,25 @@ private:
     Kind kind_;
 };
 
+/// One server address of an ordered failover list.
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+
+    [[nodiscard]] std::string to_string() const {
+        return host + ":" + std::to_string(port);
+    }
+    friend bool operator==(const Endpoint& a, const Endpoint& b) {
+        return a.host == b.host && a.port == b.port;
+    }
+};
+
+/// Parses a comma-separated endpoint list: each entry is `host:port` or
+/// a bare `port` (which gets `default_host`).  Throws fpm::Error on an
+/// empty list, a malformed port or an empty host.
+[[nodiscard]] std::vector<Endpoint>
+parse_endpoint_list(const std::string& text, const std::string& default_host);
+
 /// See file comment.
 class ServeClient {
 public:
@@ -65,6 +84,16 @@ public:
     ServeClient(const std::string& host, std::uint16_t port,
                 const ServeConfig& config);
     ServeClient(const std::string& host, std::uint16_t port);  ///< defaults
+
+    /// Failover form: an ordered endpoint list.  The connection is
+    /// opened against the first endpoint that accepts (in list order);
+    /// afterwards every typed transport error — on connect or
+    /// mid-request — advances to the next endpoint (wrapping) before
+    /// the retry/reconnect, so a dead primary fails over to its replica
+    /// without the caller doing anything.  Each advance counts in
+    /// failovers() and the process-global `serve.client.failovers`
+    /// counter.  Throws when the list is empty or no endpoint accepts.
+    ServeClient(std::vector<Endpoint> endpoints, const ServeConfig& config);
 
     ~ServeClient();
 
@@ -137,16 +166,30 @@ public:
     /// ERR or a known field carries a malformed value.
     ServerStats stats();
 
+    /// The endpoint the client is currently pointed at (it may not be
+    /// connected right now).
+    [[nodiscard]] const Endpoint& endpoint() const noexcept {
+        return endpoints_[active_];
+    }
+
+    /// How many times this client advanced to another endpoint because
+    /// of a typed transport error.  0 for a single-endpoint client.
+    [[nodiscard]] std::uint64_t failovers() const noexcept {
+        return failovers_;
+    }
+
 private:
     void open_connection();
     void close_fd() noexcept;
+    void advance_endpoint();
     void send_all(const std::string& framed);
     std::string read_line();
 
     int fd_ = -1;
     double last_rtt_seconds_ = 0.0;
-    std::string host_;
-    std::uint16_t port_ = 0;
+    std::vector<Endpoint> endpoints_;
+    std::size_t active_ = 0;
+    std::uint64_t failovers_ = 0;
     ServeConfig config_;
     std::string buffer_;  // carry-over bytes between reads
 };

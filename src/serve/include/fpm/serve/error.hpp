@@ -42,6 +42,7 @@ enum class ErrorCode {
     kFeedbackDisabled,  ///< FEEDBACK without an installed adapt handler
     kBadRequest,        ///< malformed arguments or unknown model set
     kStoreUnavailable,  ///< durable model store rejected the mutation
+    kReadOnly,          ///< write verb sent to a replica (v6)
 };
 
 /// The wire token of `code` (never empty).

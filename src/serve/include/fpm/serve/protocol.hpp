@@ -43,20 +43,25 @@
 
 namespace fpm::serve {
 
-/// Wire protocol revision.  v5 types failures (`ERR <code> [<message>]`
-/// with the stable ErrorCode tokens), extends HEALTH to the
-/// extensible key=value ServerHealth reply (recovered_generation), and
-/// adds the durable-store STATS fields (store_*, recovered_generation).
-/// v4 added the FEEDBACK verb (online model refinement) and the adapt_*
-/// STATS fields; v3 introduced typed messages, the reactor's STATS
-/// fields (connection gauges, queue-to-reply quantiles), the HEALTH
-/// request and the PARTITION `degraded=` flag.  Clients must refuse to
-/// talk to a server announcing a different revision
-/// (ServeClient::ping enforces this); a v5 client sending FEEDBACK to a
-/// v3 server receives the v3 `ERR unknown command` reply, which
-/// ServeClient::report_feedback surfaces as a typed unsupported-verb
-/// ServiceError.
-inline constexpr int kProtocolVersion = 5;
+/// Wire protocol revision.  v6 adds replication: the REPL verbs spoken
+/// on the replication listener (HELLO handshake, framed FRAME/SNAP
+/// records, PING heartbeats — see docs/replication.md), the
+/// `read_only` ERR token replicas answer to write verbs, and the
+/// replication fields (role, repl_lag_frames, repl_lag_seconds,
+/// repl_source, repl_applied_generation) in STATS and HEALTH.  v5 types
+/// failures (`ERR <code> [<message>]` with the stable ErrorCode
+/// tokens), extends HEALTH to the extensible key=value ServerHealth
+/// reply (recovered_generation), and adds the durable-store STATS
+/// fields (store_*, recovered_generation).  v4 added the FEEDBACK verb
+/// (online model refinement) and the adapt_* STATS fields; v3
+/// introduced typed messages, the reactor's STATS fields (connection
+/// gauges, queue-to-reply quantiles), the HEALTH request and the
+/// PARTITION `degraded=` flag.  Clients must refuse to talk to a
+/// server announcing a different revision (ServeClient::ping enforces
+/// this); a v6 client sending FEEDBACK to a v3 server receives the v3
+/// `ERR unknown command` reply, which ServeClient::report_feedback
+/// surfaces as a typed unsupported-verb ServiceError.
+inline constexpr int kProtocolVersion = 6;
 
 /// A request message.  decode() parses a wire line (throws fpm::Error
 /// with a client-safe message on unknown verbs, arity errors or
@@ -126,6 +131,13 @@ struct ServerHealth {
     /// Highest registry generation restored from the durable store at
     /// startup; 0 when no store is configured (or it was empty).
     std::uint64_t recovered_generation = 0;
+
+    // -- replication (v6; defaults when replication is not configured) --
+    std::string role = "primary";        ///< "primary" or "replica"
+    std::uint64_t repl_lag_frames = 0;   ///< committed minus applied gen
+    double repl_lag_seconds = 0.0;       ///< staleness vs the source
+    std::string repl_source = "-";       ///< replica: upstream host:port
+    std::uint64_t repl_applied_generation = 0;  ///< last applied gen
 
     /// Unknown `key=value` pairs, verbatim (forward compat).
     std::map<std::string, std::string> extras;
@@ -215,6 +227,13 @@ struct ServerStats {
     double store_fsync_p95_us = 0.0;
     double store_fsync_p99_us = 0.0;
     std::uint64_t recovered_generation = 0;  ///< restored at startup
+
+    // -- replication (v6; defaults when replication is not configured) --
+    std::string role = "primary";        ///< "primary" or "replica"
+    std::uint64_t repl_lag_frames = 0;   ///< committed minus applied gen
+    double repl_lag_seconds = 0.0;       ///< staleness vs the source
+    std::string repl_source = "-";       ///< replica: upstream host:port
+    std::uint64_t repl_applied_generation = 0;  ///< last applied gen
 
     /// Unknown `key=value` pairs, verbatim (e.g. fields added by a newer
     /// server).  Known fields never appear here.

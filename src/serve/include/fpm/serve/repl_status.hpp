@@ -1,0 +1,67 @@
+/// \file repl_status.hpp
+/// \brief Process-global replication role/lag published into STATS/HEALTH.
+///
+/// The replication subsystem (fpm::repl) sits *above* fpm_serve in the
+/// link graph, but the STATS/HEALTH replies are assembled down here in
+/// protocol.cpp.  ReplStatus is the one-way letterbox between the two:
+/// the Replicator (or fpmpart_serve's primary wiring) writes role,
+/// source and lag as they change, and make_stats_reply()/HEALTH read a
+/// consistent snapshot without linking against fpm_repl.  A process
+/// that never touches replication reports the defaults — role=primary,
+/// repl_source=-, zero lag — so the typed views always carry the
+/// fields.
+///
+/// Lag semantics (documented in docs/replication.md):
+///   * repl_lag_frames   — primary's committed generation (learned from
+///     frames and heartbeats) minus the replica's applied generation.
+///   * repl_lag_seconds  — staleness: seconds since the replica last
+///     heard from its source (frame or heartbeat); 0 until the first
+///     contact, frozen-and-growing once the primary dies.
+///   * repl_applied_generation — last generation the replica applied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpm::serve {
+
+/// One consistent read of the replication surface.
+struct ReplStatusSnapshot {
+    std::string role = "primary";    ///< "primary" or "replica"
+    std::string source = "-";        ///< replica: upstream host:port
+    std::uint64_t lag_frames = 0;    ///< committed minus applied generation
+    double lag_seconds = 0.0;        ///< seconds since last upstream contact
+    std::uint64_t applied_generation = 0;  ///< last applied generation
+};
+
+/// Process-global mutable replication status; see file comment.  All
+/// methods are thread-safe.
+class ReplStatus {
+public:
+    [[nodiscard]] static ReplStatus& global();
+
+    void set_role(const std::string& role);
+    void set_source(const std::string& source);
+
+    /// Updates the generation pair the lag derives from and stamps the
+    /// last-contact clock (monotonic).
+    void record_contact(std::uint64_t committed_generation,
+                        std::uint64_t applied_generation);
+
+    /// Updates the applied generation without touching the contact clock
+    /// (a locally-applied frame whose heartbeat is yet to arrive).
+    void record_applied(std::uint64_t applied_generation);
+
+    [[nodiscard]] ReplStatusSnapshot snapshot() const;
+
+    /// Back to the defaults (tests; a replica promoted to primary).
+    void reset();
+
+private:
+    ReplStatus() = default;
+
+    struct Impl;
+    [[nodiscard]] Impl& impl() const;
+};
+
+} // namespace fpm::serve

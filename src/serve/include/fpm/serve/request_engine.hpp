@@ -28,6 +28,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -184,6 +185,17 @@ public:
 
     [[nodiscard]] bool feedback_enabled() const;
 
+    /// Read-only mode (a replica): every write verb — LOAD in
+    /// handle_request(), FEEDBACK in execute_feedback() — is answered
+    /// with a typed `ERR read_only` instead of mutating the registry.
+    /// Reads (PARTITION/STATS/HEALTH/MODELS) are unaffected.
+    void set_read_only(bool read_only) noexcept {
+        read_only_.store(read_only, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool read_only() const noexcept {
+        return read_only_.load(std::memory_order_relaxed);
+    }
+
     /// Runs the installed handler on the calling thread.  Throws
     /// fpm::Error when feedback is not enabled or the handler rejects
     /// the sample.
@@ -260,6 +272,7 @@ private:
     /// hot path.
     mutable std::mutex feedback_mutex_;
     std::shared_ptr<const FeedbackHandler> feedback_;
+    std::atomic<bool> read_only_{false};
 
     std::mutex inflight_mutex_;
     std::map<PlanKey, std::shared_ptr<InFlight>> inflight_;

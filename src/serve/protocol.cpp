@@ -9,6 +9,7 @@
 #include "fpm/common/error.hpp"
 #include "fpm/fault/fault.hpp"
 #include "fpm/serve/reactor_metrics.hpp"
+#include "fpm/serve/repl_status.hpp"
 
 namespace fpm::serve {
 
@@ -279,7 +280,13 @@ std::string Response::encode() const {
             << " models=" << health.models
             << " faults=" << health.faults_injected
             << " degraded=" << health.degraded
-            << " recovered_generation=" << health.recovered_generation;
+            << " recovered_generation=" << health.recovered_generation
+            << " role=" << (health.role.empty() ? "primary" : health.role)
+            << " repl_lag_frames=" << health.repl_lag_frames
+            << " repl_lag_seconds=" << format_double(health.repl_lag_seconds)
+            << " repl_source="
+            << (health.repl_source.empty() ? "-" : health.repl_source)
+            << " repl_applied_generation=" << health.repl_applied_generation;
         for (const auto& [key, value] : health.extras) {
             out << ' ' << key << '=' << value;
         }
@@ -587,6 +594,17 @@ Response make_stats_reply(const EngineStats& stats, std::size_t model_count) {
     append_histogram_us(fields, "store_fsync", store_fsync.snapshot());
     fields.push_back(
         {"recovered_generation", std::to_string(recovered.value())});
+
+    // Replication (v6): role/source are process-global strings the repl
+    // layer publishes through ReplStatus (defaults on a plain primary).
+    const ReplStatusSnapshot repl = ReplStatus::global().snapshot();
+    fields.push_back({"role", repl.role.empty() ? "primary" : repl.role});
+    fields.push_back({"repl_lag_frames", std::to_string(repl.lag_frames)});
+    fields.push_back({"repl_lag_seconds", format_double(repl.lag_seconds)});
+    fields.push_back(
+        {"repl_source", repl.source.empty() ? "-" : repl.source});
+    fields.push_back({"repl_applied_generation",
+                      std::to_string(repl.applied_generation)});
     return response;
 }
 
@@ -753,6 +771,25 @@ const std::map<std::string, StatSetter, std::less<>>& stat_setters() {
         m["recovered_generation"] = [](ServerStats& s, const std::string& v) {
             s.recovered_generation = stat_u64(v, "recovered_generation");
         };
+        m["role"] = [](ServerStats& s, const std::string& v) {
+            FPM_CHECK(!v.empty(), "malformed value for role");
+            s.role = v;
+        };
+        m["repl_lag_frames"] = [](ServerStats& s, const std::string& v) {
+            s.repl_lag_frames = stat_u64(v, "repl_lag_frames");
+        };
+        m["repl_lag_seconds"] = [](ServerStats& s, const std::string& v) {
+            s.repl_lag_seconds = parse_double(v, "repl_lag_seconds");
+        };
+        m["repl_source"] = [](ServerStats& s, const std::string& v) {
+            FPM_CHECK(!v.empty(), "malformed value for repl_source");
+            s.repl_source = v;
+        };
+        m["repl_applied_generation"] = [](ServerStats& s,
+                                          const std::string& v) {
+            s.repl_applied_generation =
+                stat_u64(v, "repl_applied_generation");
+        };
         algo_entries(m);
         return m;
     }();
@@ -801,6 +838,25 @@ const std::map<std::string, HealthSetter, std::less<>>& health_setters() {
         m["recovered_generation"] = [](ServerHealth& h, const std::string& v) {
             h.recovered_generation = stat_u64(v, "recovered_generation");
         };
+        m["role"] = [](ServerHealth& h, const std::string& v) {
+            FPM_CHECK(!v.empty(), "malformed value for role");
+            h.role = v;
+        };
+        m["repl_lag_frames"] = [](ServerHealth& h, const std::string& v) {
+            h.repl_lag_frames = stat_u64(v, "repl_lag_frames");
+        };
+        m["repl_lag_seconds"] = [](ServerHealth& h, const std::string& v) {
+            h.repl_lag_seconds = parse_double(v, "repl_lag_seconds");
+        };
+        m["repl_source"] = [](ServerHealth& h, const std::string& v) {
+            FPM_CHECK(!v.empty(), "malformed value for repl_source");
+            h.repl_source = v;
+        };
+        m["repl_applied_generation"] = [](ServerHealth& h,
+                                          const std::string& v) {
+            h.repl_applied_generation =
+                stat_u64(v, "repl_applied_generation");
+        };
         return m;
     }();
     return table;
@@ -834,6 +890,11 @@ Response handle_request(RequestEngine& engine, const Request& request) {
             response.kind = Response::Kind::kBye;
             return response;
         case Request::Kind::kLoad: {
+            if (engine.read_only()) {
+                return Response::make_error(
+                    ErrorCode::kReadOnly,
+                    "replica is read-only: LOAD rejected");
+            }
             const auto set =
                 engine.registry().load_csv(request.name, request.path);
             response.kind = Response::Kind::kLoaded;
@@ -864,6 +925,12 @@ Response handle_request(RequestEngine& engine, const Request& request) {
                 "store.recovered_generation");
             response.health.recovered_generation =
                 static_cast<std::uint64_t>(recovered.value());
+            const ReplStatusSnapshot repl = ReplStatus::global().snapshot();
+            response.health.role = repl.role;
+            response.health.repl_lag_frames = repl.lag_frames;
+            response.health.repl_lag_seconds = repl.lag_seconds;
+            response.health.repl_source = repl.source;
+            response.health.repl_applied_generation = repl.applied_generation;
             return response;
         }
         case Request::Kind::kPartition: {

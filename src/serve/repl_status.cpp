@@ -1,0 +1,93 @@
+#include "fpm/serve/repl_status.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace fpm::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+struct ReplStatus::Impl {
+    mutable std::mutex mutex;
+    std::string role = "primary";
+    std::string source = "-";
+    std::uint64_t committed = 0;
+    std::uint64_t applied = 0;
+    bool contacted = false;
+    Clock::time_point last_contact{};
+};
+
+ReplStatus::Impl& ReplStatus::impl() const {
+    static Impl instance;
+    return instance;
+}
+
+ReplStatus& ReplStatus::global() {
+    static ReplStatus instance;
+    return instance;
+}
+
+void ReplStatus::set_role(const std::string& role) {
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.role = role;
+}
+
+void ReplStatus::set_source(const std::string& source) {
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.source = source;
+}
+
+void ReplStatus::record_contact(std::uint64_t committed_generation,
+                                std::uint64_t applied_generation) {
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.committed = committed_generation;
+    state.applied = applied_generation;
+    state.contacted = true;
+    state.last_contact = Clock::now();
+}
+
+void ReplStatus::record_applied(std::uint64_t applied_generation) {
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.applied = applied_generation;
+    if (state.committed < applied_generation) {
+        state.committed = applied_generation;
+    }
+}
+
+ReplStatusSnapshot ReplStatus::snapshot() const {
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    ReplStatusSnapshot out;
+    out.role = state.role;
+    out.source = state.source;
+    out.lag_frames =
+        state.committed > state.applied ? state.committed - state.applied : 0;
+    out.applied_generation = state.applied;
+    if (state.contacted) {
+        out.lag_seconds =
+            std::chrono::duration<double>(Clock::now() - state.last_contact)
+                .count();
+        if (out.lag_seconds < 0.0) {
+            out.lag_seconds = 0.0;
+        }
+    }
+    return out;
+}
+
+void ReplStatus::reset() {
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.role = "primary";
+    state.source = "-";
+    state.committed = 0;
+    state.applied = 0;
+    state.contacted = false;
+}
+
+} // namespace fpm::serve

@@ -321,6 +321,10 @@ bool RequestEngine::feedback_enabled() const {
 }
 
 FeedbackReply RequestEngine::execute_feedback(const FeedbackSample& sample) {
+    if (read_only()) {
+        throw ServiceError(ErrorCode::kReadOnly,
+                           "replica is read-only: FEEDBACK rejected");
+    }
     std::shared_ptr<const FeedbackHandler> handler;
     {
         std::lock_guard lock(feedback_mutex_);

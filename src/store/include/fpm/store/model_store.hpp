@@ -49,16 +49,40 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "fpm/serve/model_registry.hpp"
 #include "fpm/store/wal.hpp"
 
 namespace fpm::store {
+
+/// One WAL/snapshot publish record, decoded.  The encoded form is the
+/// unit of both durability and replication: a text header line
+/// (`publish <name> <generation> <16-hex fingerprint>`) followed by the
+/// core::write_speed_functions body, carried inside a length+CRC WAL
+/// frame on disk and on the replication stream alike.
+struct PublishRecord {
+    std::string name;
+    std::uint64_t generation = 0;
+    std::uint64_t fingerprint = 0;
+    std::vector<core::SpeedFunction> models;
+};
+
+/// Renders the publish record for `set` (the WAL frame payload).
+[[nodiscard]] std::string encode_publish_record(const serve::ModelSet& set);
+
+/// Parses and validates a publish record; `origin` names the source in
+/// error messages.  Throws fpm::Error on a malformed header or when the
+/// recomputed model fingerprint disagrees with the recorded one.
+[[nodiscard]] PublishRecord decode_publish_record(const std::string& payload,
+                                                  const std::string& origin);
 
 /// When the WAL is made durable relative to a publish acknowledgement.
 enum class FsyncPolicy {
@@ -93,6 +117,17 @@ struct StoreStats {
     std::uint64_t bytes = 0;      ///< WAL bytes written
     std::uint64_t snapshots = 0;  ///< compacted snapshots taken
     std::uint64_t segment = 0;    ///< active WAL segment id
+};
+
+/// A consistent copy of the store's published content, taken under the
+/// store mutex for replication snapshot transfer: the encoded publish
+/// record of every live set plus the WAL position a stream resuming
+/// after this snapshot starts from.
+struct ReplSnapshot {
+    std::vector<std::string> payloads;     ///< encoded publish records
+    std::uint64_t next_generation = 1;     ///< registry counter to resume at
+    std::uint64_t segment = 0;             ///< active WAL segment id
+    std::uint64_t offset = 0;              ///< committed bytes in that segment
 };
 
 /// See file comment.
@@ -152,10 +187,47 @@ public:
         return options_;
     }
 
+    // -- replication hooks (consumed by fpm::repl) ---------------------
+
+    /// The file name of WAL segment `id` (`wal-NNNNNN.log`).
+    [[nodiscard]] static std::string segment_file_name(std::uint64_t id);
+
+    /// Absolute path of WAL segment `id` inside this store.
+    [[nodiscard]] std::string segment_path(std::uint64_t id) const {
+        return dir_ + "/" + segment_file_name(id);
+    }
+
+    /// The committed WAL position: (active segment id, committed bytes).
+    /// Readers tailing the active segment must clamp to this offset —
+    /// bytes past it may be a torn frame from an injected append fault.
+    [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> wal_position() const;
+
+    /// Highest generation the store has committed (0 when empty).
+    [[nodiscard]] std::uint64_t committed_generation() const;
+
+    /// Consistent snapshot of the published content for replication
+    /// transfer (see ReplSnapshot).
+    [[nodiscard]] ReplSnapshot replication_snapshot() const;
+
+    /// The seal point of the segment retired by the most recent WAL
+    /// rotation: (segment id, final committed bytes), or (0, 0) before
+    /// any rotation.  A follower standing exactly here has missed
+    /// nothing and resumes at the next segment; any other position in a
+    /// GC'd segment needs the snapshot fallback.
+    [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> last_seal() const;
+
+    /// Installs (or clears, with an empty function) a hook invoked —
+    /// outside the store mutex, on the appending thread — after every
+    /// committed append and after every snapshot rotation.  The
+    /// ReplicationLog uses it to wake tailing sessions; the hook must be
+    /// cheap and must not call back into the store.
+    void set_commit_hook(std::function<void()> hook);
+
 private:
     void open_segment_locked(std::uint64_t segment_id, std::uint64_t committed);
     void snapshot_locked();
     void detach();
+    void fire_commit_hook();
 
     const std::string dir_;
     const StoreOptions options_;
@@ -171,9 +243,16 @@ private:
     std::uint64_t segment_id_ = 0;
     std::uint64_t appends_since_snapshot_ = 0;
     std::uint64_t last_snapshot_generation_ = 0;
+    std::uint64_t last_seal_segment_ = 0;
+    std::uint64_t last_seal_offset_ = 0;
     bool stopped_ = false;
     RecoveryReport recovery_;
     StoreStats stats_;
+
+    /// Guarded by hook_mutex_ (not mutex_): the hook is copied out and
+    /// invoked after the store mutex is released.
+    mutable std::mutex hook_mutex_;
+    std::function<void()> commit_hook_;
 };
 
 } // namespace fpm::store

@@ -69,13 +69,34 @@ bool parse_numbered_name(const std::string& name, std::string_view prefix,
     return true;
 }
 
-/// One WAL/snapshot publish record, decoded.
-struct PublishRecord {
-    std::string name;
-    std::uint64_t generation = 0;
-    std::uint64_t fingerprint = 0;
-    std::vector<core::SpeedFunction> models;
-};
+void write_file_durably(const std::string& path, const std::string& contents) {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    FPM_CHECK(fd >= 0,
+              "cannot create " + path + ": " + std::strerror(errno));
+    std::size_t written = 0;
+    while (written < contents.size()) {
+        const ssize_t n =
+            ::write(fd, contents.data() + written, contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            const std::string reason = std::strerror(errno);
+            ::close(fd);
+            throw Error("write(" + path + "): " + reason);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        throw Error("fsync(" + path + "): " + reason);
+    }
+    ::close(fd);
+}
+
+} // namespace
 
 std::string encode_publish_record(const serve::ModelSet& set) {
     std::ostringstream out;
@@ -109,35 +130,6 @@ PublishRecord decode_publish_record(const std::string& payload,
               origin + ": fingerprint mismatch for set '" + record.name + "'");
     return record;
 }
-
-void write_file_durably(const std::string& path, const std::string& contents) {
-    const int fd =
-        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    FPM_CHECK(fd >= 0,
-              "cannot create " + path + ": " + std::strerror(errno));
-    std::size_t written = 0;
-    while (written < contents.size()) {
-        const ssize_t n =
-            ::write(fd, contents.data() + written, contents.size() - written);
-        if (n < 0) {
-            if (errno == EINTR) {
-                continue;
-            }
-            const std::string reason = std::strerror(errno);
-            ::close(fd);
-            throw Error("write(" + path + "): " + reason);
-        }
-        written += static_cast<std::size_t>(n);
-    }
-    if (::fsync(fd) != 0) {
-        const std::string reason = std::strerror(errno);
-        ::close(fd);
-        throw Error("fsync(" + path + "): " + reason);
-    }
-    ::close(fd);
-}
-
-} // namespace
 
 FsyncPolicy parse_fsync_policy(std::string_view text) {
     if (text == "always") {
@@ -365,52 +357,59 @@ void ModelStore::append(const serve::ModelSet& set) {
     static auto& fsync_histogram =
         obs::MetricsRegistry::global().histogram("store.fsync_seconds");
 
-    std::lock_guard lock(mutex_);
-    FPM_CHECK(!stopped_, "store is stopped");
-    FPM_CHECK(wal_.is_open(), "store log is not open");
+    {
+        std::lock_guard lock(mutex_);
+        FPM_CHECK(!stopped_, "store is stopped");
+        FPM_CHECK(wal_.is_open(), "store log is not open");
 
-    const std::string payload = encode_publish_record(set);
-    const std::uint64_t before = wal_.committed_bytes();
-    const std::uint64_t frame_size = wal_.append(payload);
-    if (options_.fsync_policy == FsyncPolicy::kAlways) {
-        const auto start = Clock::now();
-        try {
-            wal_.fsync();
-        } catch (...) {
-            // The record is written but not durable: roll it back so a
-            // failed publish leaves no trace (the registry veto depends
-            // on this — log and registry must agree record for record).
-            wal_.truncate_to(before);
-            throw;
+        const std::string payload = encode_publish_record(set);
+        const std::uint64_t before = wal_.committed_bytes();
+        const std::uint64_t frame_size = wal_.append(payload);
+        if (options_.fsync_policy == FsyncPolicy::kAlways) {
+            const auto start = Clock::now();
+            try {
+                wal_.fsync();
+            } catch (...) {
+                // The record is written but not durable: roll it back so
+                // a failed publish leaves no trace (the registry veto
+                // depends on this — log and registry must agree record
+                // for record).
+                wal_.truncate_to(before);
+                throw;
+            }
+            fsync_histogram.record(
+                std::chrono::duration<double>(Clock::now() - start).count());
         }
-        fsync_histogram.record(
-            std::chrono::duration<double>(Clock::now() - start).count());
-    }
 
-    mirror_[set.name] = std::make_shared<const serve::ModelSet>(set);
-    next_generation_ = std::max(next_generation_, set.generation + 1);
-    ++stats_.appended;
-    stats_.bytes += frame_size;
-    appended_counter.add(1);
-    bytes_counter.add(frame_size);
+        mirror_[set.name] = std::make_shared<const serve::ModelSet>(set);
+        next_generation_ = std::max(next_generation_, set.generation + 1);
+        ++stats_.appended;
+        stats_.bytes += frame_size;
+        appended_counter.add(1);
+        bytes_counter.add(frame_size);
 
-    ++appends_since_snapshot_;
-    if (options_.snapshot_every > 0 &&
-        appends_since_snapshot_ >= options_.snapshot_every) {
-        try {
-            snapshot_locked();
-        } catch (...) {
-            // The append itself is durable; a failed compaction (full
-            // disk, injected store.snapshot fault) retries at the next
-            // threshold and must not fail the publish.
+        ++appends_since_snapshot_;
+        if (options_.snapshot_every > 0 &&
+            appends_since_snapshot_ >= options_.snapshot_every) {
+            try {
+                snapshot_locked();
+            } catch (...) {
+                // The append itself is durable; a failed compaction (full
+                // disk, injected store.snapshot fault) retries at the
+                // next threshold and must not fail the publish.
+            }
         }
     }
+    fire_commit_hook();
 }
 
 void ModelStore::snapshot() {
-    std::lock_guard lock(mutex_);
-    FPM_CHECK(!stopped_, "store is stopped");
-    snapshot_locked();
+    {
+        std::lock_guard lock(mutex_);
+        FPM_CHECK(!stopped_, "store is stopped");
+        snapshot_locked();
+    }
+    fire_commit_hook();
 }
 
 void ModelStore::snapshot_locked() {
@@ -453,6 +452,8 @@ void ModelStore::snapshot_locked() {
     // The snapshot now covers everything: rotate to a fresh segment and
     // drop the old segments and older snapshots it superseded.
     const std::uint64_t old_segment = segment_id_;
+    last_seal_segment_ = old_segment;
+    last_seal_offset_ = wal_.committed_bytes();
     open_segment_locked(segment_id_ + 1, 0);
     fsync_dir(dir_);
     for (std::uint64_t id = 1; id <= old_segment; ++id) {
@@ -518,6 +519,54 @@ RecoveryReport ModelStore::last_recovery() const {
 StoreStats ModelStore::stats() const {
     std::lock_guard lock(mutex_);
     return stats_;
+}
+
+std::string ModelStore::segment_file_name(std::uint64_t id) {
+    return segment_name(id);
+}
+
+std::pair<std::uint64_t, std::uint64_t> ModelStore::wal_position() const {
+    std::lock_guard lock(mutex_);
+    return {segment_id_, wal_.is_open() ? wal_.committed_bytes() : 0};
+}
+
+std::uint64_t ModelStore::committed_generation() const {
+    std::lock_guard lock(mutex_);
+    return next_generation_ - 1;
+}
+
+ReplSnapshot ModelStore::replication_snapshot() const {
+    std::lock_guard lock(mutex_);
+    ReplSnapshot snap;
+    snap.payloads.reserve(mirror_.size());
+    for (const auto& [name, set] : mirror_) {
+        snap.payloads.push_back(encode_publish_record(*set));
+    }
+    snap.next_generation = next_generation_;
+    snap.segment = segment_id_;
+    snap.offset = wal_.is_open() ? wal_.committed_bytes() : 0;
+    return snap;
+}
+
+std::pair<std::uint64_t, std::uint64_t> ModelStore::last_seal() const {
+    std::lock_guard lock(mutex_);
+    return {last_seal_segment_, last_seal_offset_};
+}
+
+void ModelStore::set_commit_hook(std::function<void()> hook) {
+    std::lock_guard lock(hook_mutex_);
+    commit_hook_ = std::move(hook);
+}
+
+void ModelStore::fire_commit_hook() {
+    std::function<void()> hook;
+    {
+        std::lock_guard lock(hook_mutex_);
+        hook = commit_hook_;
+    }
+    if (hook) {
+        hook();
+    }
 }
 
 void ModelStore::open_segment_locked(std::uint64_t segment_id,

@@ -166,7 +166,7 @@ TEST(DocsConsistency, OperationsRunbookCoversEnvironmentVariables) {
          {"serve.accept", "serve.recv", "serve.send", "serve.cache",
           "serve.compute", "serve.reload", "rt.dispatch", "adapt.ingest",
           "adapt.refine", "adapt.publish", "store.append", "store.fsync",
-          "store.snapshot"}) {
+          "store.snapshot", "repl.handshake", "repl.send", "repl.apply"}) {
         EXPECT_NE(runbook.find(point), std::string::npos)
             << "fault point '" << point
             << "' is not documented in docs/operations.md";
@@ -186,6 +186,7 @@ TEST(DocsConsistency, ProtocolSpecTabulatesEveryErrorToken) {
         fpm::serve::ErrorCode::kFeedbackDisabled,
         fpm::serve::ErrorCode::kBadRequest,
         fpm::serve::ErrorCode::kStoreUnavailable,
+        fpm::serve::ErrorCode::kReadOnly,
     };
     for (const auto code : codes) {
         const std::string token(fpm::serve::error_token(code));
@@ -231,6 +232,48 @@ TEST(DocsConsistency, ProtocolSpecCoversEveryVerbAndHealthField) {
           "ServerStats"}) {
         EXPECT_NE(spec.find(token), std::string::npos)
             << "token '" << token << "' is not documented in docs/protocol.md";
+    }
+}
+
+TEST(DocsConsistency, ProtocolSpecCoversTheReplVerbs) {
+    // v6: the replication sub-protocol and the read_only rejection are
+    // part of the wire contract and must be specified.
+    const std::string spec = read_file("docs/protocol.md");
+    for (const char* token :
+         {"REPL HELLO", "OK REPL STREAM", "OK REPL SNAP", "REPL FRAME",
+          "REPL SNAP bytes=", "REPL PING", "committed=", "pos=",
+          "`read_only`", "role=", "repl_lag_frames=", "repl_lag_seconds=",
+          "repl_source=", "repl_applied_generation=",
+          "docs/replication.md"}) {
+        EXPECT_NE(spec.find(token), std::string::npos)
+            << "'" << token << "' is not documented in docs/protocol.md";
+    }
+}
+
+TEST(DocsConsistency, ReplicationGuideCoversTheSubsystem) {
+    const std::string guide = read_file("docs/replication.md");
+    // Topology + handshake + lag semantics + the failover runbook: the
+    // operator-facing surface of fpm::repl, kept honest by name.
+    for (const char* token :
+         {"WAL shipping", "REPL HELLO", "REPL FRAME", "REPL SNAP",
+          "REPL PING", "snapshot transfer", "seal point",
+          "--repl-listen", "--replica-of", "read_only",
+          "repl_lag_frames", "repl_lag_seconds", "repl_source",
+          "repl_applied_generation", "role=replica", "failover",
+          "promotion", "repl.handshake", "repl.send", "repl.apply",
+          "ci/repl_drill.sh", "heartbeat", "ReplicationLog",
+          "Replicator", "thread-per-follower"}) {
+        EXPECT_NE(guide.find(token), std::string::npos)
+            << "'" << token << "' is not documented in docs/replication.md";
+    }
+    // The runbook cross-links the replication guide and names the new
+    // serving flags so an operator lands in the right place.
+    const std::string runbook = read_file("docs/operations.md");
+    for (const char* token :
+         {"docs/replication.md", "--replica-of", "--repl-listen",
+          "ci/repl_drill.sh"}) {
+        EXPECT_NE(runbook.find(token), std::string::npos)
+            << "'" << token << "' is not documented in docs/operations.md";
     }
 }
 
@@ -321,6 +364,7 @@ TEST(DocsConsistency, ReadmeLinksTheDocs) {
     EXPECT_NE(readme.find("docs/operations.md"), std::string::npos);
     EXPECT_NE(readme.find("docs/adaptation.md"), std::string::npos);
     EXPECT_NE(readme.find("docs/benchmarking.md"), std::string::npos);
+    EXPECT_NE(readme.find("docs/replication.md"), std::string::npos);
 }
 
 TEST(DocsConsistency, DesignDocDescribesTheCurrentArchitecture) {

@@ -8,8 +8,12 @@
 //     --threads/--cache/--cache-shards) on an ephemeral loopback port,
 //     benches it, and tears it down.  This is what the perf gate uses —
 //     one command, no orchestration.
-//   * attach: `--port P` (with optional `--host`) benches an already
-//     running server.  Unless `--sets` narrows the targets, the model
+//   * attach: `--port P[,HOST:P...]` (with optional `--host` for bare
+//     ports) benches an already running server.  More than one entry
+//     makes the list a failover chain: every client walks it on typed
+//     transport errors, so a primary/replica pair can be benched
+//     through a mid-run primary kill (endpoint advances are reported as
+//     `failovers`).  Unless `--sets` narrows the targets, the model
 //     sets are discovered with a MODELS query.
 //
 // The workload (verb mix, problem sizes, arrival process) is fully
@@ -137,9 +141,10 @@ int main(int argc, char** argv) {
         serve::RequestEngine::Options engine_options;
 
         fpmtool::FlagTable flags("fpmpart_bench");
+        std::string port_spec;
         flags.bind_list("--models", "NAME=FILE", &model_specs)
             .bind("--host", "ADDR", &host)
-            .bind("--port", "P", &server_config.port, 0, 65535)
+            .bind("--port", "P[,HOST:P...]", &port_spec)
             .bind_list("--sets", "NAME", &sets)
             .bind("--mode", "closed|open", &mode)
             .bind("--arrival", "poisson|uniform", &arrival)
@@ -195,12 +200,34 @@ int main(int argc, char** argv) {
             return 2;
         }
         spec.algorithm = *algo;
-        if (model_specs.empty() && server_config.port == 0) {
+        if (model_specs.empty() && port_spec.empty()) {
             std::fprintf(stderr,
                          "error: nothing to bench — give --models to spawn "
                          "a server or --port to attach to one\n%s",
                          flags.usage().c_str());
             return 2;
+        }
+        // Attach mode takes a comma-separated failover list (bare port
+        // or HOST:PORT per entry); spawn mode takes one bare port.
+        std::vector<serve::Endpoint> endpoints;
+        if (!port_spec.empty()) {
+            try {
+                endpoints = serve::parse_endpoint_list(port_spec, host);
+            } catch (const Error& e) {
+                std::fprintf(stderr, "error: --port: %s\n%s", e.what(),
+                             flags.usage().c_str());
+                return 2;
+            }
+            if (!model_specs.empty()) {
+                if (endpoints.size() != 1 || endpoints.front().host != host) {
+                    std::fprintf(stderr,
+                                 "error: --port with --models (spawn mode) "
+                                 "expects one bare port, got '%s'\n%s",
+                                 port_spec.c_str(), flags.usage().c_str());
+                    return 2;
+                }
+                server_config.port = endpoints.front().port;
+            }
         }
 
         // Spawn mode: the same registry -> engine -> reactor-pool stack
@@ -236,18 +263,25 @@ int main(int argc, char** argv) {
                         load.port, server->num_reactors(),
                         engine_options.workers);
         } else {
-            load.host = host;
-            load.port = static_cast<std::uint16_t>(server_config.port);
+            load.endpoints = endpoints;
+            load.host = endpoints.front().host;
+            load.port = endpoints.front().port;
             if (sets.empty()) {
-                // Discover the target's model sets instead of guessing.
-                serve::ServeClient probe(load.host, load.port);
+                // Discover the target's model sets instead of guessing;
+                // the probe itself fails over across the list.
+                serve::ServeClient probe(endpoints, load.serve);
                 serve::Request models;
                 models.kind = serve::Request::Kind::kModels;
                 for (const auto& info : probe.call(models).sets) {
                     sets.push_back(info.name);
                 }
             }
-            std::printf("attached to %s:%u\n", load.host.c_str(), load.port);
+            std::string attached;
+            for (const auto& endpoint : endpoints) {
+                attached += attached.empty() ? "" : ", ";
+                attached += endpoint.to_string();
+            }
+            std::printf("attached to %s\n", attached.c_str());
         }
         spec.model_sets = sets;
 
@@ -263,7 +297,8 @@ int main(int argc, char** argv) {
 
         std::printf(
             "%s loop (%s): %llu scheduled = %llu sent + %llu dropped; "
-            "%llu completed (%llu error(s), %llu degraded) in %.3fs\n",
+            "%llu completed (%llu error(s), %llu degraded, "
+            "%llu failover(s)) in %.3fs\n",
             report.mode.c_str(),
             report.arrival.empty() ? "n/a" : report.arrival.c_str(),
             static_cast<unsigned long long>(report.scheduled),
@@ -272,6 +307,7 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(report.completed),
             static_cast<unsigned long long>(report.errors),
             static_cast<unsigned long long>(report.degraded),
+            static_cast<unsigned long long>(report.failovers),
             report.duration_seconds);
         std::printf("achieved %.1f req/s; latency us: p50 %.1f  p95 %.1f  "
                     "p99 %.1f  p99.9 %.1f  max %.1f\n",

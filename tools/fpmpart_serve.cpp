@@ -27,6 +27,14 @@
 // exact pre-crash generations, bit for bit (see docs/operations.md).
 // `--models` sets already present in the recovered state are skipped.
 //
+// Replication (fpm::repl, docs/replication.md): `--repl-listen P` makes
+// this server a primary that ships its WAL to connecting replicas
+// (requires --store); `--replica-of HOST:PORT` makes it a hot-standby
+// replica instead — it pulls the primary's publish stream, applies it
+// through the same registry machinery, answers PARTITION/STATS/HEALTH/
+// MODELS and rejects writes (LOAD, FEEDBACK) with `ERR read_only`.
+// A replica may itself carry `--store` for local durability.
+//
 // Fault drills: set FPMPART_FAULTS (see docs/operations.md) before
 // launch to arm deterministic injection points; the armed rule count is
 // printed on startup.
@@ -45,6 +53,9 @@
 
 #include "fpm/adapt/engine.hpp"
 #include "fpm/fault/fault.hpp"
+#include "fpm/repl/replication_log.hpp"
+#include "fpm/repl/replication_server.hpp"
+#include "fpm/repl/replicator.hpp"
 #include "fpm/serve/server.hpp"
 #include "fpm/store/model_store.hpp"
 #include "tool_args.hpp"
@@ -57,9 +68,11 @@ int main(int argc, char** argv) {
         adapt::AdaptConfig adapt_config;
         serve::ServeConfig config;
         serve::RequestEngine::Options engine_options;
+        std::string replica_of;
+        std::uint16_t repl_listen = 0;
 
         fpmtool::FlagTable flags("fpmpart_serve");
-        flags.bind_list("--models", "NAME=FILE", &model_specs).require()
+        flags.bind_list("--models", "NAME=FILE", &model_specs)
             .bind("--port", "P", &config.port, 0, 65535)
             .bind("--bind", "ADDR", &config.bind_address)
             .bind("--reactors", "N", &config.num_reactors, 1, 1024)
@@ -78,9 +91,57 @@ int main(int argc, char** argv) {
             .bind("--store", "DIR", &config.store_dir)
             .bind("--store-fsync", "always|never", &config.fsync_policy)
             .bind("--store-snapshot-every", "N", &config.snapshot_every, 0)
+            .bind("--replica-of", "HOST:PORT", &replica_of)
+            .bind("--repl-listen", "P", &repl_listen, 0, 65535)
             .trace();
         if (!flags.parse(argc, argv)) {
             return 2;
+        }
+        // A server needs *some* source of models: CSVs, a recoverable
+        // store, or a primary to replicate from.
+        if (model_specs.empty() && config.store_dir.empty() &&
+            replica_of.empty()) {
+            std::fprintf(stderr,
+                         "error: need --models, --store or --replica-of\n%s",
+                         flags.usage().c_str());
+            return 2;
+        }
+        if (!replica_of.empty() && adapt_enabled) {
+            // A replica's registry belongs to the replication stream;
+            // locally-published adapt generations would collide with it.
+            std::fprintf(stderr,
+                         "error: --adapt cannot be combined with "
+                         "--replica-of (replicas are read-only)\n%s",
+                         flags.usage().c_str());
+            return 2;
+        }
+        if (flags.seen("--repl-listen") && config.store_dir.empty()) {
+            std::fprintf(stderr,
+                         "error: --repl-listen requires --store "
+                         "(replication ships the WAL)\n%s",
+                         flags.usage().c_str());
+            return 2;
+        }
+        // Validate --replica-of up front so a typo exits 2 with usage
+        // like every other bad flag, before any server state exists.
+        serve::Endpoint replica_source;
+        if (!replica_of.empty()) {
+            std::vector<serve::Endpoint> sources;
+            try {
+                sources = serve::parse_endpoint_list(replica_of, "127.0.0.1");
+            } catch (const Error& e) {
+                std::fprintf(stderr, "error: --replica-of: %s\n%s",
+                             e.what(), flags.usage().c_str());
+                return 2;
+            }
+            if (sources.size() != 1) {
+                std::fprintf(stderr,
+                             "error: --replica-of expects exactly one "
+                             "HOST:PORT, got '%s'\n%s",
+                             replica_of.c_str(), flags.usage().c_str());
+                return 2;
+            }
+            replica_source = sources.front();
         }
         // AdaptEngine revalidates; this just fails before binding.
         if (adapt_config.max_samples < adapt_config.min_samples) {
@@ -185,6 +246,35 @@ int main(int argc, char** argv) {
                         adapt_config.cusum_limit);
         }
 
+        // Replication wiring (docs/replication.md).  The log/server pair
+        // makes this process a primary; a Replicator makes it a replica.
+        std::unique_ptr<repl::ReplicationLog> repl_log;
+        std::unique_ptr<repl::ReplicationServer> repl_server;
+        std::unique_ptr<repl::Replicator> replicator;
+        if (flags.seen("--repl-listen")) {
+            repl_log = std::make_unique<repl::ReplicationLog>(*model_store);
+            repl::ReplServerConfig repl_config;
+            repl_config.bind_address = config.bind_address;
+            repl_config.port = repl_listen;
+            repl_server = std::make_unique<repl::ReplicationServer>(
+                *repl_log, repl_config);
+            std::printf("replication primary: shipping WAL on %s:%u\n",
+                        repl_config.bind_address.c_str(),
+                        repl_server->port());
+        }
+        if (!replica_of.empty()) {
+            engine.set_read_only(true);
+            repl::ReplicatorConfig repl_config;
+            repl_config.source = replica_source;
+            repl_config.transport = config;
+            replicator = std::make_unique<repl::Replicator>(
+                engine, model_store.get(), repl_config);
+            replicator->start();
+            std::printf("replica of %s: serving read-only (writes answer "
+                        "ERR read_only)\n",
+                        repl_config.source.to_string().c_str());
+        }
+
         serve::SocketServer server(engine, config);
         server.start();
         std::printf("fpmpart_serve listening on %s:%u (%zu reactor(s), "
@@ -203,6 +293,15 @@ int main(int argc, char** argv) {
         for (int ch = std::getchar(); ch != EOF; ch = std::getchar()) {
         }
         server.stop();
+        if (replicator) {
+            replicator->stop();
+        }
+        if (repl_server) {
+            repl_server->stop();
+        }
+        if (repl_log) {
+            repl_log->stop();
+        }
         if (model_store) {
             model_store->stop();
             const auto store_stats = model_store->stats();
@@ -224,6 +323,13 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(stats.computed),
                     static_cast<unsigned long long>(stats.coalesced),
                     static_cast<unsigned long long>(stats.hits));
+        std::printf("role %s: repl_lag_frames %llu, repl_lag_seconds %.3g, "
+                    "repl_source %s, repl_applied_generation %llu\n",
+                    stats.role.c_str(),
+                    static_cast<unsigned long long>(stats.repl_lag_frames),
+                    stats.repl_lag_seconds, stats.repl_source.c_str(),
+                    static_cast<unsigned long long>(
+                        stats.repl_applied_generation));
         if (adapter) {
             std::printf("adaptation: %llu sample(s), %llu reliable "
                         "window(s), %llu republish(es), model version %llu\n",
